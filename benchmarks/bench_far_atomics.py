@@ -1,0 +1,55 @@
+"""Extension: near vs far atomics across the workload suite.
+
+The paper's related work contrasts x86's near atomics with IBM-style far
+atomics and cites work choosing between them by locality/contention.  This
+bench measures the axis on our substrate: far execution eliminates line
+ping-pong (good under contention) but serializes RMWs at the home bank and
+forfeits eager's latency hiding (bad for miss-heavy uncontended atomics).
+"""
+
+from repro.analysis.report import FigureData
+from repro.analysis.runner import base_params, config, normalized_time
+from repro.common.params import AtomicMode
+from repro.common.stats import geomean
+
+WORKLOADS = ("canneal", "freqmine", "cq", "tatp", "raytrace", "tpcc", "sps", "pc")
+
+
+def far_comparison(scale) -> FigureData:
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    fig = FigureData(
+        "Ext-Far",
+        "Near (eager/lazy/RoW) vs far atomics (normalized to near-eager)",
+        ["workload", "lazy", "row", "far"],
+    )
+    for wl in WORKLOADS:
+        fig.add_row(
+            wl,
+            normalized_time(wl, config(base, AtomicMode.LAZY), eager, scale),
+            normalized_time(wl, config(base, AtomicMode.ROW), eager, scale),
+            normalized_time(wl, config(base, AtomicMode.FAR), eager, scale),
+        )
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([r[i] for r in fig.rows]))
+    fig.add_row(*agg)
+    fig.notes.append(
+        "far ~ lazy under contention (no ping-pong), far >> eager on"
+        " miss-heavy uncontended atomics (no latency hiding) — the reason"
+        " x86 sticks to near atomics and RoW schedules them"
+    )
+    return fig
+
+
+def test_far_atomics_comparison(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(far_comparison, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    if scale.name == "smoke":
+        return
+    rows = fig.row_map()
+    cols = {name: i for i, name in enumerate(fig.columns)}
+    # Far beats eager where lazy does (contended) ...
+    assert rows["pc"][cols["far"]] < 0.8
+    # ... and loses where eager's latency hiding matters.
+    assert rows["canneal"][cols["far"]] > 1.2

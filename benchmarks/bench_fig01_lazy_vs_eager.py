@@ -1,0 +1,14 @@
+"""Fig. 1 — normalized execution time of lazy vs eager atomics."""
+
+from repro.analysis.figures import figure1
+
+
+def test_fig01_lazy_vs_eager(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure1, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    # Paper shape: canneal/freqmine strongly eager-favoring...
+    assert rows["canneal"][1] > 1.25
+    assert rows["freqmine"][1] > 1.05
+    # ...and pc strongly lazy-favoring.
+    assert rows["pc"][1] < 0.8

@@ -1,0 +1,24 @@
+"""Fig. 2 — the Sec. II-A fence microbenchmark on old vs new cores."""
+
+from repro.analysis.figures import figure2
+
+
+def test_fig02_microbench(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure2, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = {(r[0], r[1], r[2]): r[3] for r in fig.rows}
+    # Old x86: the lock prefix costs ~a fence (roughly doubles cycles) and
+    # explicit mfences add nothing on top.
+    assert rows[("old-x86", "faa", "lock")] > 1.6 * rows[("old-x86", "faa", "plain")]
+    assert rows[("old-x86", "faa", "lock+mfence")] < 1.1 * rows[
+        ("old-x86", "faa", "lock")
+    ]
+    # New x86: lock is free; explicit mfences collapse MLP (several times).
+    assert rows[("new-x86", "faa", "lock")] < 1.1 * rows[("new-x86", "faa", "plain")]
+    assert rows[("new-x86", "faa", "plain+mfence")] > 2.5 * rows[
+        ("new-x86", "faa", "plain")
+    ]
+    # xchg locks regardless of the prefix (footnote 1).
+    assert rows[("old-x86", "swap", "plain")] > 1.6 * rows[
+        ("old-x86", "faa", "plain")
+    ]

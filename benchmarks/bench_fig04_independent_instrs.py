@@ -1,0 +1,16 @@
+"""Fig. 4 — independent instructions around eager/lazy atomics."""
+
+from repro.analysis.figures import figure4
+
+
+def test_fig04_independent_instructions(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure4, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    # Eager issue happens while older instructions are still pending.
+    older = [r[1] for r in fig.rows]
+    assert sum(older) / len(older) > 1
+    # Dependency-laden workloads start fewer younger instructions before a
+    # lazy atomic than the contended trio does.
+    assert rows["streamcluster"][2] < rows["pc"][2]
+    assert rows["raytrace"][2] < rows["tpcc"][2]

@@ -1,0 +1,16 @@
+"""Fig. 5 — atomic intensity and contention ratio per workload."""
+
+from repro.analysis.figures import figure5
+
+
+def test_fig05_intensity_and_contention(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure5, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    # Every app in the per-app figures is atomic-intensive (>= 1 per 10k).
+    for workload, row in rows.items():
+        assert row[1] >= 1, f"{workload} fell below the selection criterion"
+    # The contended trio is far more contended than canneal/freqmine.
+    for contended in ("tpcc", "sps", "pc"):
+        for clean in ("canneal", "freqmine"):
+            assert rows[contended][2] > rows[clean][2] + 20

@@ -1,0 +1,16 @@
+"""Fig. 6 — atomic latency breakdown, eager vs lazy."""
+
+from repro.analysis.figures import figure6
+
+
+def test_fig06_latency_breakdown(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure6, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    by_key = {(r[0], r[1]): r for r in fig.rows}
+    for workload in ("pc", "sps", "tpcc"):
+        eager = by_key[(workload, "eager")]
+        lazy = by_key[(workload, "lazy")]
+        # Lazy waits in dispatch->issue instead of holding the line locked.
+        assert lazy[2] > eager[2], f"{workload}: lazy d2i should dominate"
+        assert lazy[4] < 6, f"{workload}: lazy lock window should be minimal"
+        assert eager[4] > lazy[4], f"{workload}: eager holds locks longer"

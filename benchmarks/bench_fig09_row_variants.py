@@ -1,0 +1,20 @@
+"""Fig. 9 — RoW variants (EW/RW/RW+Dir x U/D/Sat) vs eager and lazy."""
+
+from repro.analysis.figures import figure9
+
+
+def test_fig09_row_variants(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure9, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    geo = fig.row_map()["GEOMEAN"]
+    cols = {name: i for i, name in enumerate(fig.columns)}
+    # The best RoW variant beats both static policies on average.
+    best = min(geo[cols["RW+Dir_U/D"]], geo[cols["RW+Dir_Sat"]])
+    assert best < 1.0, "RoW (RW+Dir) should beat always-eager on average"
+    assert best <= geo[cols["lazy"]] + 0.02
+    # RW+Dir with the saturating predictor tracks lazy on pc.
+    pc = fig.row_map()["pc"]
+    assert pc[cols["RW+Dir_Sat"]] < 0.95
+    # RoW must not slow canneal down.
+    canneal = fig.row_map()["canneal"]
+    assert canneal[cols["RW+Dir_Sat"]] < 1.05

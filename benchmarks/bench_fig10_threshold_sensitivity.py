@@ -1,0 +1,21 @@
+"""Fig. 10 — sensitivity of RW+Dir to the latency threshold."""
+
+from repro.analysis.figures import figure10
+
+# The sweep is the most expensive figure; a representative subset keeps the
+# default harness tractable while covering both behaviour classes.
+SUBSET = ("canneal", "cq", "raytrace", "tpcc", "sps", "pc")
+
+
+def test_fig10_threshold_sensitivity(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(
+        figure10, args=(scale, SUBSET), rounds=1, iterations=1
+    )
+    record_figure(fig)
+    geo = fig.row_map()["GEOMEAN"]
+    cols = {name: i for i, name in enumerate(fig.columns)}
+    # On the scaled system the optimum sits at the scaled threshold (~40):
+    # it must beat the degenerate "inf" point, which behaves like plain RW.
+    assert geo[cols["thr_40"]] <= geo[cols["thr_inf"]] + 0.01
+    # Gigantic thresholds converge to the same behaviour as inf.
+    assert abs(geo[cols["thr_2000"]] - geo[cols["thr_inf"]]) < 0.1

@@ -1,0 +1,18 @@
+"""Fig. 11 — average L1D miss latency under each policy."""
+
+from repro.analysis.figures import figure11
+
+
+def test_fig11_miss_latency(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure11, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    cols = {name: i for i, name in enumerate(fig.columns)}
+    # Contended apps: eager execution inflates everyone's miss latency.
+    for workload in ("pc", "sps"):
+        assert rows[workload][cols["eager"]] > 1.2 * rows[workload][cols["lazy"]]
+    # Non-contended apps: policy barely moves the miss latency.
+    canneal = rows["canneal"]
+    assert abs(canneal[cols["eager"]] - canneal[cols["lazy"]]) < 0.25 * canneal[
+        cols["lazy"]
+    ]

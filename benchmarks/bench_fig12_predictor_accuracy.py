@@ -1,0 +1,14 @@
+"""Fig. 12 — contention-prediction accuracy (U/D vs Sat)."""
+
+from repro.analysis.figures import figure12
+
+
+def test_fig12_predictor_accuracy(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure12, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    mean = rows["MEAN"]
+    assert mean[1] > 0.5 and mean[2] > 0.4
+    # Non-contended workloads are trivially predictable for both.
+    assert rows["canneal"][1] > 0.9
+    assert rows["canneal"][2] > 0.9

@@ -1,0 +1,18 @@
+"""Fig. 13 — store->atomic forwarding and the atomic-locality promotion."""
+
+from repro.analysis.figures import figure13
+
+
+def test_fig13_forwarding(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(figure13, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    rows = fig.row_map()
+    cols = {name: i for i, name in enumerate(fig.columns)}
+    # cq: the forwarding promotion must recover (or improve on) the loss the
+    # no-forwarding RoW suffers from executing locality atomics lazy.
+    cq = rows["cq"]
+    assert cq[cols["RW+Dir_U/D+fwd"]] <= cq[cols["RW+Dir_U/D"]] + 0.02
+    # Forwarding never hurts the geomean.
+    geo = rows["GEOMEAN"]
+    assert geo[cols["RW+Dir_U/D+fwd"]] <= geo[cols["RW+Dir_U/D"]] + 0.02
+    assert geo[cols["RW+Dir_Sat+fwd"]] <= geo[cols["RW+Dir_Sat"]] + 0.02

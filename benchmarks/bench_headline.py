@@ -1,0 +1,14 @@
+"""The paper's headline claims (abstract / Sec. VI summary)."""
+
+from repro.analysis.figures import headline
+
+
+def test_headline_claims(benchmark, scale, record_figure):
+    fig = benchmark.pedantic(headline, args=(scale,), rounds=1, iterations=1)
+    record_figure(fig)
+    reproduced = {row[0]: row[2] for row in fig.rows}
+    # RoW with forwarding reduces average execution time vs always-eager.
+    avg = float(reproduced["RW+Dir_Sat+fwd vs eager (atomic-intensive, avg)"].rstrip("%"))
+    assert avg > 0, "RoW must beat the eager baseline on average"
+    mx = float(reproduced["RW+Dir_Sat+fwd vs eager (max)"].rstrip("%"))
+    assert mx > 15, "the best case should be a large reduction"

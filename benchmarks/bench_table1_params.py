@@ -1,0 +1,24 @@
+"""Table I — configuration self-check and the Sec. IV-F hardware budget."""
+
+from repro.analysis.figures import table1
+from repro.common.params import SystemParams
+from repro.row.cost import row_hardware_cost
+
+
+def test_table1_configuration(benchmark, record_figure):
+    fig = benchmark.pedantic(table1, rounds=1, iterations=1)
+    record_figure(fig)
+    values = {row[0]: row[1] for row in fig.rows}
+    assert values["cores"] == 32
+    assert values["ROB/LQ/SB entries"] == "512/192/128"
+    assert values["RoW storage"] == "64 bytes"
+
+
+def test_row_budget_is_64_bytes(benchmark):
+    cost = benchmark.pedantic(
+        row_hardware_cost,
+        args=(SystemParams.paper().row, 16),
+        rounds=1,
+        iterations=1,
+    )
+    assert cost.total_storage_bytes == 64.0

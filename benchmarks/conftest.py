@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables/figures at the scale
+selected by ``REPRO_SCALE`` (smoke | quick | full | paper; default quick),
+prints the regenerated series, and records it under ``benchmarks/results/``.
+Simulation results are memoized process-wide, so running the whole suite
+shares the eager/lazy baselines across figures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import FigureData
+from repro.analysis.runner import default_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return default_scale()
+
+
+@pytest.fixture
+def record_figure():
+    """Print a regenerated figure and persist it to benchmarks/results/."""
+
+    def _record(fig: FigureData) -> FigureData:
+        text = fig.render()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = fig.figure_id.lower().replace(".", "").replace(" ", "_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text)
+        return fig
+
+    return _record

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A shared atomic counter under the microscope.
+
+Every thread performs fetch-and-increment on one cacheline — the textbook
+contended-atomic scenario.  The example demonstrates three things:
+
+1. *Atomicity*: the final counter equals threads x increments under every
+   execution policy (the coherence protocol + Atomic Queue guarantee).
+2. *The eager trap*: eager execution locks the line long before the atomic
+   can commit, so the line bounces with huge handoff latencies.
+3. *The lazy win*: issuing at the head of the load queue with a drained
+   store buffer shrinks the lock window to ~1 cycle.
+
+Run:  python examples/contended_counter.py [threads] [increments]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AtomicMode, SystemParams, simulate
+from repro.workloads.litmus import atomic_counter
+
+
+def main() -> None:
+    threads = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    increments = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    expected = threads * increments
+    print(f"{threads} threads x {increments} fetch-and-increments "
+          f"(expected final value: {expected})\n")
+
+    header = (
+        f"{'policy':>8s} {'cycles':>9s} {'counter':>8s} {'ok':>3s}"
+        f" {'lock window':>12s} {'ext. stalls':>12s} {'revocations':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for mode in (AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW):
+        params = SystemParams.small(
+            num_cores=max(threads, 2)
+        ).with_atomic_mode(mode)
+        program = atomic_counter(threads, increments)
+        result = simulate(params, program)
+        final = result.memory_snapshot.get(program.metadata["addr"], 0)
+        stats = result.merged_core_stats()
+        print(
+            f"{mode.value:>8s} {result.cycles:>9,} {final:>8,} "
+            f"{'yes' if final == expected else 'NO':>3s} "
+            f"{result.breakdown.lock_to_unlock.mean:>11.1f}c "
+            f"{stats.counter('externals_blocked_on_lock').value:>12,} "
+            f"{stats.counter('lock_revocations').value:>12,}"
+        )
+    print(
+        "\nNote how eager execution stalls external coherence requests on\n"
+        "locked lines (and occasionally needs a lock revocation to stay\n"
+        "deadlock-free), while lazy keeps the lock window near one cycle."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Sweep contention to find the eager/lazy crossover.
+
+Takes one workload profile and sweeps the fraction of atomics that target
+the shared hot set from 0% to 90%, printing the normalized execution time
+of lazy and RoW against eager at each point.  This is the design space of
+Sec. III made visible: eager wins on the left, lazy on the right, and RoW
+should hug the lower envelope.
+
+Run:  python examples/contention_explorer.py [instructions_per_thread]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AtomicMode, SystemParams, build_program, get_profile, simulate
+from repro.common.stats import geomean
+
+SWEEP = (0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9)
+SEEDS = (0, 1)
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    base = get_profile("pc")
+    params = SystemParams.small()
+    print("hot%  | lazy/eager | row/eager | winner")
+    print("------+------------+-----------+-------")
+    for hot in SWEEP:
+        profile = base.with_overrides(hot_fraction=hot, name=f"sweep{hot}")
+        lazy_ratios, row_ratios = [], []
+        for seed in SEEDS:
+            program = build_program(
+                profile, params.num_cores, instructions, seed=seed
+            )
+            eager = simulate(params.with_atomic_mode(AtomicMode.EAGER), program)
+            lazy = simulate(params.with_atomic_mode(AtomicMode.LAZY), program)
+            row = simulate(params.with_atomic_mode(AtomicMode.ROW), program)
+            lazy_ratios.append(lazy.cycles / eager.cycles)
+            row_ratios.append(row.cycles / eager.cycles)
+        lazy_norm = geomean(lazy_ratios)
+        row_norm = geomean(row_ratios)
+        winner = "lazy" if lazy_norm < 0.97 else ("eager" if lazy_norm > 1.03 else "tie")
+        print(
+            f"{100 * hot:>4.0f}% | {lazy_norm:>10.3f} | {row_norm:>9.3f} | {winner}"
+        )
+    print(
+        "\nThe crossover is where the lazy/eager column passes 1.0; RoW's"
+        "\ncolumn should track min(1.0, lazy/eager) within noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce the Sec. II-A experiment: do modern x86 cores fence atomics?
+
+Runs the random-access RMW microbenchmark in all four variants (with and
+without the lock prefix, with and without explicit mfences) on two simulated
+machines: a Kentsfield-class core with fenced atomics (2007) and a Coffee
+Lake-class core with unfenced atomics (2019).  This regenerates Fig. 2.
+
+Run:  python examples/fence_microbenchmark.py [iterations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AtomicOp, build_microbench, simulate
+from repro.analysis.figures import legacy_core_params, modern_core_params
+from repro.workloads.microbench import VARIANTS
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    machines = [
+        ("old x86 (fenced atomics, 2 MSHRs)", legacy_core_params()),
+        ("new x86 (unfenced atomics, 4 MSHRs)", modern_core_params()),
+    ]
+    for label, params in machines:
+        print(f"\n=== {label} ===")
+        print(f"{'op':>6s} | " + " | ".join(f"{v:>13s}" for v in VARIANTS))
+        for op in (AtomicOp.FAA, AtomicOp.CAS, AtomicOp.SWAP):
+            cells = []
+            for variant in VARIANTS:
+                program = build_microbench(op, variant, iterations=iterations)
+                result = simulate(params, program)
+                cells.append(result.cycles / iterations)
+            print(
+                f"{op.value:>6s} | "
+                + " | ".join(f"{c:>13.1f}" for c in cells)
+            )
+    print(
+        "\nReading the table (cycles/iteration, lower is better):\n"
+        " * old x86: adding the lock prefix ~doubles the cost (a built-in\n"
+        "   fence) and explicit mfences change nothing on top of it;\n"
+        " * new x86: the lock prefix is free, but explicit mfences collapse\n"
+        "   memory-level parallelism and multiply the cost several times;\n"
+        " * swap (xchg) locks implicitly in every variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

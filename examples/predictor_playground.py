@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Train RoW's contention predictors on synthetic behaviour streams.
+
+Feeds the UpDown, Saturate-on-Contention and +2/-1 predictors with atomics
+whose contention follows configurable patterns (steady, bursty, phased,
+noisy) and reports prediction accuracy and the eager/lazy decisions taken,
+illustrating the hysteresis trade-off of Sec. IV-D: UpDown is accurate on
+stable behaviour; Saturate reacts instantly to contention and only drifts
+back to eager after 15 clean runs.
+
+Run:  python examples/predictor_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.params import PredictorKind, RowParams
+from repro.row.predictor import ContentionPredictor
+
+
+def patterns(rng: np.random.Generator) -> dict[str, list[bool]]:
+    n = 600
+    return {
+        "always contended": [True] * n,
+        "never contended": [False] * n,
+        "phased (200 on / 200 off)": [bool((i // 200) % 2 == 0) for i in range(n)],
+        "bursty (1 in 16)": [i % 16 == 0 for i in range(n)],
+        "noisy 70/30": list(rng.random(n) < 0.7),
+        "noisy 30/70": list(rng.random(n) < 0.3),
+    }
+
+
+def evaluate(kind: PredictorKind, stream: list[bool]) -> tuple[float, float]:
+    predictor = ContentionPredictor(RowParams(predictor=kind))
+    pc = 0x40
+    correct = 0
+    lazy = 0
+    for contended in stream:
+        predicted = predictor.predict(pc)
+        correct += predicted == contended
+        lazy += predicted
+        predictor.update(pc, contended)
+    return correct / len(stream), lazy / len(stream)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    kinds = [PredictorKind.UPDOWN, PredictorKind.SATURATE, PredictorKind.PLUS2MINUS1]
+    print(f"{'pattern':<28s}" + "".join(f"{k.value:>18s}" for k in kinds))
+    print(f"{'':<28s}" + "   acc / %lazy  " * len(kinds))
+    print("-" * (28 + 18 * len(kinds)))
+    for name, stream in patterns(rng).items():
+        cells = []
+        for kind in kinds:
+            acc, lazy_frac = evaluate(kind, stream)
+            cells.append(f"{100 * acc:5.1f}% /{100 * lazy_frac:4.0f}%")
+        print(f"{name:<28s}" + "".join(f"{c:>18s}" for c in cells))
+    print(
+        "\nSaturate trades accuracy for safety: a single contention event"
+        "\nforces 15 lazy executions, which is why the paper pairs it with"
+        "\nthe RW+Dir detector whose signal is sparse under lazy execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload under eager, lazy and RoW policies.
+
+Builds a synthetic producer-consumer workload (the paper's most contended
+application), runs it on an 8-core system under the three execution
+policies, and prints the comparison the whole paper is about.
+
+Run:  python examples/quickstart.py [workload]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import AtomicMode, SystemParams, build_program, simulate
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pc"
+    params = SystemParams.small()
+    program = build_program(
+        workload,
+        num_threads=params.num_cores,
+        instructions_per_thread=5000,
+        seed=1,
+    )
+    print(f"workload: {workload}  ({program.total_instructions()} instructions, "
+          f"{params.num_cores} cores)\n")
+
+    baseline = None
+    for mode in (AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW):
+        result = simulate(params.with_atomic_mode(mode), program)
+        if baseline is None:
+            baseline = result.cycles
+        stats = result.merged_core_stats()
+        breakdown = result.breakdown.means()
+        print(f"--- {mode.value} ---")
+        print(f"  cycles            : {result.cycles:>9,}"
+              f"   (normalized {result.cycles / baseline:.3f})")
+        print(f"  IPC               : {result.ipc:>9.2f}")
+        print(f"  atomics committed : {result.atomics_committed():>9,}"
+              f"   ({result.atomics_per_10k():.1f} per 10k instructions)")
+        print(f"  contended (truth) : {100 * result.contended_fraction():>8.1f}%")
+        print(f"  lock window       : {breakdown['lock_to_unlock']:>9.1f} cycles")
+        print(f"  avg miss latency  : {result.avg_miss_latency():>9.1f} cycles")
+        if mode is AtomicMode.ROW:
+            lazy = stats.counter("atomics_issued_lazy").value
+            total = max(1, stats.counter("atomics_committed").value)
+            print(f"  executed lazy     : {lazy:>9,}   ({100 * lazy / total:.0f}%)")
+            print(f"  predictor accuracy: {100 * result.predictor_accuracy():>8.1f}%")
+        print()
+
+    print("Interpretation: on contended workloads lazy execution shrinks the")
+    print("lock window and wins; on non-contended ones (try 'canneal') eager")
+    print("hides the atomic's miss latency and wins.  RoW predicts per-atomic")
+    print("which regime it is in and tracks the better policy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package
+(this environment is offline; pip's PEP 660 editable path needs wheel)."""
+
+from setuptools import setup
+
+setup()

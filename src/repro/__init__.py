@@ -1,0 +1,86 @@
+"""repro — a from-scratch reproduction of "No Rush in Executing Atomic
+Instructions" (HPCA 2025).
+
+Quickstart::
+
+    from repro import AtomicMode, SystemParams, build_program, simulate
+
+    params = SystemParams.small(atomic_mode=AtomicMode.ROW)
+    program = build_program("pc", num_threads=params.num_cores,
+                            instructions_per_thread=4000)
+    result = simulate(params, program)
+    print(result.cycles, result.ipc)
+
+The package layers:
+
+* :mod:`repro.common`    — parameters (Table I), statistics, RNG.
+* :mod:`repro.isa`       — instructions, atomic semantics, traces.
+* :mod:`repro.workloads` — benchmark profiles, trace generators, litmus.
+* :mod:`repro.memory`    — caches, MESI directory coherence, mesh network.
+* :mod:`repro.frontend`  — branch predictors.
+* :mod:`repro.core`      — the out-of-order pipeline with unfenced atomics.
+* :mod:`repro.row`       — the paper's contribution: Rush or Wait.
+* :mod:`repro.sim`       — the multicore harness.
+* :mod:`repro.analysis`  — figure/table regeneration.
+"""
+
+from repro.common import (
+    AtomicMode,
+    BranchPredictorKind,
+    CacheParams,
+    DetectionMode,
+    PredictorKind,
+    RowParams,
+    SystemParams,
+    geomean,
+)
+from repro.isa import AtomicOp, Instruction, InstrClass, Program, ThreadTrace
+from repro.row import (
+    ContentionDetector,
+    ContentionPredictor,
+    RowMechanism,
+    row_hardware_cost,
+)
+from repro.sim import MulticoreSimulator, RunResult, simulate
+from repro.workloads import (
+    ATOMIC_INTENSIVE,
+    FIGURE_ORDER,
+    WORKLOADS,
+    WorkloadProfile,
+    build_microbench,
+    build_program,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATOMIC_INTENSIVE",
+    "AtomicMode",
+    "AtomicOp",
+    "BranchPredictorKind",
+    "CacheParams",
+    "ContentionDetector",
+    "ContentionPredictor",
+    "DetectionMode",
+    "FIGURE_ORDER",
+    "InstrClass",
+    "Instruction",
+    "MulticoreSimulator",
+    "PredictorKind",
+    "Program",
+    "RowMechanism",
+    "RowParams",
+    "RunResult",
+    "SystemParams",
+    "ThreadTrace",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "build_microbench",
+    "build_program",
+    "geomean",
+    "get_profile",
+    "row_hardware_cost",
+    "simulate",
+    "__version__",
+]

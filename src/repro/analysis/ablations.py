@@ -1,0 +1,223 @@
+"""Ablation studies for RoW's design choices (DESIGN.md §5).
+
+The paper motivates several sizing decisions in Sec. IV-D/IV-F without a
+dedicated figure: the 64-entry predictor ("the fewer the entries, the
+higher the aliasing ... a single predictor entry ... causes a performance
+degradation by 0.3% on average compared to eager"), the 4-bit counters, the
+16-entry AQ it inherits from Free Atomics, and the +2/−1 update policy it
+mentions evaluating and rejecting.  These functions measure each choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.report import FigureData
+from repro.analysis.runner import (
+    ExperimentScale,
+    base_params,
+    config,
+    default_scale,
+    normalized_time,
+)
+from repro.common.params import (
+    AtomicMode,
+    DetectionMode,
+    PredictorKind,
+)
+from repro.common.stats import geomean
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+# The ablations run on the workloads whose behaviour stresses each choice:
+# contended apps expose predictor aliasing; mixed apps expose update policy.
+ABLATION_WORKLOADS: tuple[str, ...] = (
+    "canneal",
+    "cq",
+    "raytrace",
+    "tpcc",
+    "sps",
+    "pc",
+)
+
+
+def mixed_alias_profile() -> WorkloadProfile:
+    """The workload class where predictor aliasing hurts most: half the
+    atomic sites are contended (want lazy), the other half miss to a huge
+    uncontended region (want eager).  A small predictor forces both through
+    shared counters and mis-schedules one class or the other."""
+    return get_profile("canneal").with_overrides(
+        name="mixed-alias",
+        hot_fraction=0.45,
+        num_hot_lines=2,
+        atomics_per_10k=60,
+        atomic_sites=8,
+    )
+
+
+def _scale(scale: ExperimentScale | None) -> ExperimentScale:
+    return scale if scale is not None else default_scale()
+
+
+def predictor_entries_ablation(
+    scale: ExperimentScale | None = None,
+    entries_sweep: tuple[int, ...] = (1, 4, 16, 64, 256),
+    workloads: tuple[str | WorkloadProfile, ...] = ABLATION_WORKLOADS,
+) -> FigureData:
+    """Predictor size vs aliasing (Sec. IV-D's 64-entry choice)."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    fig = FigureData(
+        "Ablation-A",
+        "RoW (RW+Dir_Sat) vs predictor table size (normalized to eager)",
+        ["workload"] + [f"entries_{n}" for n in entries_sweep],
+    )
+    for wl in workloads + (mixed_alias_profile(),):
+        row: list[object] = [wl if isinstance(wl, str) else wl.name]
+        for entries in entries_sweep:
+            cfg = config(
+                base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE
+            )
+            cfg = replace(cfg, row=replace(cfg.row, predictor_entries=entries))
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([r[i] for r in fig.rows]))
+    fig.add_row(*agg)
+    fig.notes.append(
+        "paper: aliasing between contended and non-contended atomics grows"
+        " as entries shrink; a single shared entry degrades to roughly the"
+        " eager baseline"
+    )
+    return fig
+
+
+def counter_width_ablation(
+    scale: ExperimentScale | None = None,
+    widths: tuple[int, ...] = (1, 2, 4, 6),
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+) -> FigureData:
+    """Saturating-counter width: hysteresis depth vs adaptability."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    fig = FigureData(
+        "Ablation-B",
+        "RoW (RW+Dir_Sat) vs counter width in bits (normalized to eager)",
+        ["workload"] + [f"bits_{b}" for b in widths],
+    )
+    for wl in workloads:
+        row: list[object] = [wl]
+        for bits in widths:
+            cfg = config(
+                base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE
+            )
+            cfg = replace(cfg, row=replace(cfg.row, counter_bits=bits))
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([r[i] for r in fig.rows]))
+    fig.add_row(*agg)
+    fig.notes.append(
+        "wider counters lengthen the Sat policy's lazy hysteresis"
+        " (2^N - 1 clean runs to flip back to eager)"
+    )
+    return fig
+
+
+def predictor_policy_comparison(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+) -> FigureData:
+    """UpDown vs Saturate vs the +2/−1 policy the paper evaluated and set
+    aside ("observed that the up/down and saturate predictors reach higher
+    performance benefits")."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    kinds = (PredictorKind.UPDOWN, PredictorKind.SATURATE, PredictorKind.PLUS2MINUS1)
+    fig = FigureData(
+        "Ablation-C",
+        "Predictor update policies with RW+Dir detection (normalized to eager)",
+        ["workload"] + [k.value for k in kinds],
+    )
+    for wl in workloads:
+        row: list[object] = [wl]
+        for kind in kinds:
+            cfg = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind)
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([r[i] for r in fig.rows]))
+    fig.add_row(*agg)
+    return fig
+
+
+def aq_depth_ablation(
+    scale: ExperimentScale | None = None,
+    depths: tuple[int, ...] = (1, 2, 4, 8, 16),
+    workloads: tuple[str, ...] = ("canneal", "freqmine", "pc"),
+) -> FigureData:
+    """Atomic Queue depth: how many in-flight atomics the unfenced baseline
+    needs (Free Atomics uses 16)."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    fig = FigureData(
+        "Ablation-D",
+        "Eager execution vs AQ depth (normalized to the 16-entry AQ)",
+        ["workload"] + [f"aq_{d}" for d in depths],
+    )
+    for wl in workloads:
+        baseline = config(replace(base, aq_entries=16), AtomicMode.EAGER)
+        row: list[object] = [wl]
+        for depth in depths:
+            cfg = config(replace(base, aq_entries=depth), AtomicMode.EAGER)
+            row.append(normalized_time(wl, cfg, baseline, scale))
+        fig.add_row(*row)
+    fig.notes.append(
+        "atomic-intensive non-contended apps (canneal) need several AQ"
+        " entries to overlap atomic misses; contended apps saturate early"
+    )
+    return fig
+
+
+def sb_depth_ablation(
+    scale: ExperimentScale | None = None,
+    depths: tuple[int, ...] = (4, 8, 16, 32),
+    workloads: tuple[str, ...] = ("canneal", "pc"),
+) -> FigureData:
+    """Store-buffer depth: the lazy condition waits for a full SB drain, so
+    a deeper SB (more buffered stores) lengthens every lazy atomic's
+    dispatch-to-issue wait, while eager execution mostly ignores it."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    fig = FigureData(
+        "Ablation-E",
+        "Lazy execution vs SB depth (normalized to the 32-entry SB)",
+        ["workload"] + [f"sb_{d}" for d in depths],
+    )
+    for wl in workloads:
+        baseline = config(replace(base, sb_entries=32), AtomicMode.LAZY)
+        row: list[object] = [wl]
+        for depth in depths:
+            cfg = config(replace(base, sb_entries=depth), AtomicMode.LAZY)
+            row.append(normalized_time(wl, cfg, baseline, scale))
+        fig.add_row(*row)
+    fig.notes.append(
+        "a shallow SB throttles dispatch (stores stall allocation); a deep"
+        " one lengthens the drain every lazy atomic waits for — the tension"
+        " behind Table I's 128-entry choice"
+    )
+    return fig
+
+
+ALL_ABLATIONS = {
+    "predictor_entries": predictor_entries_ablation,
+    "counter_width": counter_width_ablation,
+    "predictor_policy": predictor_policy_comparison,
+    "aq_depth": aq_depth_ablation,
+    "sb_depth": sb_depth_ablation,
+}

@@ -1,0 +1,74 @@
+"""Export regenerated figures and run metrics to JSON.
+
+Makes the reproduction's numbers consumable by external tooling (plotting
+scripts, CI comparisons against recorded baselines, notebooks).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Iterable
+
+from repro.analysis.report import FigureData
+from repro.analysis.runner import ExperimentScale, RunMetrics
+
+
+def figure_to_dict(fig: FigureData) -> dict:
+    return {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "columns": fig.columns,
+        "rows": fig.rows,
+        "notes": fig.notes,
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureData:
+    fig = FigureData(payload["figure_id"], payload["title"], list(payload["columns"]))
+    for row in payload["rows"]:
+        fig.add_row(*row)
+    fig.notes = list(payload.get("notes", []))
+    return fig
+
+
+def export_figures(
+    figures: Iterable[FigureData],
+    path: str | pathlib.Path,
+    scale: ExperimentScale | None = None,
+) -> pathlib.Path:
+    """Write a JSON bundle of figures (plus the scale they ran at)."""
+    path = pathlib.Path(path)
+    payload = {
+        "scale": None if scale is None else {
+            "name": scale.name,
+            "num_threads": scale.num_threads,
+            "instructions_per_thread": scale.instructions_per_thread,
+            "seeds": list(scale.seeds),
+        },
+        "figures": [figure_to_dict(fig) for fig in figures],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def load_figures(path: str | pathlib.Path) -> list[FigureData]:
+    payload = json.loads(pathlib.Path(path).read_text())
+    return [figure_from_dict(f) for f in payload["figures"]]
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    return asdict(metrics)
+
+
+def export_metrics(
+    metrics: Iterable[RunMetrics], path: str | pathlib.Path
+) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps([metrics_to_dict(m) for m in metrics], indent=2, default=str)
+    )
+    return path

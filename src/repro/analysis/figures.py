@@ -1,0 +1,500 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figureN`` function runs (or reuses, via the runner's memo cache) the
+simulations behind that figure and returns a :class:`FigureData` whose rows
+mirror the series the paper plots.  Absolute cycle counts differ from the
+paper — the substrate is a scaled Python timing model, not the authors'
+32-core Sniper/GEMS testbed — but the *shape* (who wins, by what factor,
+where crossovers fall) is the reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.common.params import (
+    AtomicMode,
+    DetectionMode,
+    PredictorKind,
+    SystemParams,
+)
+from repro.common.stats import geomean
+from repro.analysis.report import FigureData
+from repro.analysis.runner import (
+    ExperimentScale,
+    ROW_VARIANTS,
+    base_params,
+    config,
+    default_scale,
+    mean_over_seeds,
+    normalized_time,
+    run_seeds,
+)
+from repro.isa.instructions import AtomicOp
+from repro.row.cost import row_hardware_cost
+from repro.sim.multicore import simulate
+from repro.workloads.microbench import VARIANTS, build_microbench
+from repro.workloads.profiles import FIGURE_ORDER, NON_ATOMIC_INTENSIVE
+
+ATOMIC_WORKLOADS: tuple[str, ...] = FIGURE_ORDER
+ALL_WORKLOADS: tuple[str, ...] = FIGURE_ORDER + tuple(NON_ATOMIC_INTENSIVE)
+
+
+def _scale(scale: ExperimentScale | None) -> ExperimentScale:
+    return scale if scale is not None else default_scale()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — lazy vs eager normalized execution time
+# ---------------------------------------------------------------------------
+
+
+def figure1(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    lazy = config(base, AtomicMode.LAZY)
+    fig = FigureData(
+        "Fig.1",
+        "Normalized execution time of lazy vs eager atomics (lower favors lazy)",
+        ["workload", "lazy/eager"],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        fig.add_row(wl, normalized_time(wl, lazy, eager, scale))
+    ratios = [r[1] for r in fig.rows]
+    fig.notes.append(
+        f"geomean={geomean(ratios):.3f}; paper: canneal/freqmine strongly"
+        " eager-favoring, tpcc/sps/pc strongly lazy-favoring"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — fence microbenchmark on old (fenced) vs new (unfenced) cores
+# ---------------------------------------------------------------------------
+
+
+def modern_core_params() -> SystemParams:
+    """Coffee Lake-class single core with unfenced (eager) atomics.
+
+    Four MSHRs reproduce the paper's observed ratio: inserting explicit
+    mfences drops performance "to roughly a fourth" because the memory-level
+    parallelism of ~4 outstanding misses collapses to 1.
+    """
+    return SystemParams.small(
+        num_cores=1, atomic_mode=AtomicMode.EAGER, mshr_entries=4
+    )
+
+
+def legacy_core_params() -> SystemParams:
+    """Kentsfield-class single core: fenced atomics, narrower OoO engine.
+
+    Two MSHRs: on the old machine the lock prefix roughly *doubles* cycles
+    per iteration (Fig. 2, left), i.e. the unfenced baseline only overlapped
+    about two misses.
+    """
+    return SystemParams.small(
+        num_cores=1,
+        atomic_mode=AtomicMode.FENCED,
+        fetch_width=3,
+        issue_width=4,
+        commit_width=4,
+        rob_entries=64,
+        lq_entries=16,
+        sb_entries=12,
+        iq_entries=24,
+        mshr_entries=2,
+    )
+
+
+def figure2(
+    scale: ExperimentScale | None = None, iterations: int | None = None
+) -> FigureData:
+    scale = _scale(scale)
+    if iterations is None:
+        iterations = {"smoke": 200, "quick": 600, "full": 1200, "paper": 3000}[
+            scale.name
+        ]
+    fig = FigureData(
+        "Fig.2",
+        "Microbenchmark cycles/iteration: RMW x {plain,lock} x {nofence,mfence}",
+        ["machine", "op", "variant", "cycles_per_iter"],
+    )
+    machines = [("old-x86", legacy_core_params()), ("new-x86", modern_core_params())]
+    for machine, params in machines:
+        for op in (AtomicOp.FAA, AtomicOp.CAS, AtomicOp.SWAP):
+            for variant in VARIANTS:
+                program = build_microbench(op, variant, iterations=iterations)
+                result = simulate(params, program)
+                fig.add_row(machine, op.value, variant, result.cycles / iterations)
+    fig.notes.append(
+        "expected shape: old-x86 lock ~2x plain (built-in fence), mfence adds"
+        " nothing on top; new-x86 lock ~ plain, explicit mfence several times"
+        " slower; swap always locks (xchg)"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — independent instructions around eager/lazy atomics
+# ---------------------------------------------------------------------------
+
+
+def figure4(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    lazy = config(base, AtomicMode.LAZY)
+    fig = FigureData(
+        "Fig.4",
+        "Independent instructions w.r.t. eager and lazy atomics",
+        ["workload", "older_not_executed_at_eager_issue", "younger_started_at_lazy_issue"],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        older = mean_over_seeds(run_seeds(wl, eager, scale), "older_unexecuted_mean")
+        younger = mean_over_seeds(run_seeds(wl, lazy, scale), "younger_started_mean")
+        fig.add_row(wl, older, younger)
+    fig.notes.append(
+        "paper: ~48 older instructions pending on average at eager issue;"
+        " tpcc/sps/pc start >50 younger instructions before a lazy atomic"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — atomic intensity and contention ratio
+# ---------------------------------------------------------------------------
+
+
+def figure5(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    eager = config(base_params(scale), AtomicMode.EAGER)
+    fig = FigureData(
+        "Fig.5",
+        "Atomics per 10k instructions and %% facing contention (eager)",
+        ["workload", "atomics_per_10k", "contended_pct"],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        runs = run_seeds(wl, eager, scale)
+        fig.add_row(
+            wl,
+            mean_over_seeds(runs, "atomics_per_10k"),
+            100.0 * mean_over_seeds(runs, "contended_truth_frac"),
+        )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — atomic latency breakdown
+# ---------------------------------------------------------------------------
+
+
+def figure6(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    fig = FigureData(
+        "Fig.6",
+        "Atomic latency breakdown (cycles): dispatch->issue, issue->lock, lock->unlock",
+        ["workload", "mode", "dispatch_to_issue", "issue_to_lock", "lock_to_unlock"],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        for mode in (AtomicMode.EAGER, AtomicMode.LAZY):
+            runs = run_seeds(wl, config(base, mode), scale)
+            d2i = sum(m.breakdown["dispatch_to_issue"] for m in runs) / len(runs)
+            i2l = sum(m.breakdown["issue_to_lock"] for m in runs) / len(runs)
+            l2u = sum(m.breakdown["lock_to_unlock"] for m in runs) / len(runs)
+            fig.add_row(wl, mode.value, d2i, i2l, l2u)
+    fig.notes.append(
+        "paper: lazy trades a long dispatch->issue wait for a minimal lock"
+        " window; eager's issue->lock explodes on contended workloads"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — RoW variants (no forwarding)
+# ---------------------------------------------------------------------------
+
+
+def figure9(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] = ATOMIC_WORKLOADS,
+) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    lazy = config(base, AtomicMode.LAZY)
+    columns = ["workload", "eager", "lazy"] + [name for name, _, _ in ROW_VARIANTS]
+    fig = FigureData(
+        "Fig.9",
+        "Normalized execution time of RoW variants vs eager/lazy (no forwarding)",
+        columns,
+    )
+    for wl in workloads:
+        row: list[object] = [wl, 1.0, normalized_time(wl, lazy, eager, scale)]
+        for _, detection, predictor in ROW_VARIANTS:
+            cfg = config(base, AtomicMode.ROW, detection, predictor)
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    # Aggregate row (geomean across workloads).
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(columns)):
+        agg.append(geomean([row[i] for row in fig.rows]))
+    fig.add_row(*agg)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — Dir latency-threshold sensitivity
+# ---------------------------------------------------------------------------
+
+
+def figure10(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] = ATOMIC_WORKLOADS,
+    thresholds: tuple[int | None, ...] = (0, 40, 120, 400, 2000, None),
+) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    names = ["inf" if t is None else str(t) for t in thresholds]
+    fig = FigureData(
+        "Fig.10",
+        "Sensitivity of RW+Dir (Sat) to the latency threshold (normalized to eager)",
+        ["workload"] + [f"thr_{n}" for n in names],
+    )
+    for wl in workloads:
+        row: list[object] = [wl]
+        for thr in thresholds:
+            cfg = config(
+                base,
+                AtomicMode.ROW,
+                DetectionMode.RW_DIR,
+                PredictorKind.SATURATE,
+                latency_threshold=thr,
+            )
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([row[i] for row in fig.rows]))
+    fig.add_row(*agg)
+    fig.notes.append(
+        "paper's optimum is 400 on a 32-core system; on this scaled system"
+        " uncontended cache-to-cache transfers take ~42 cycles, so the"
+        " optimum shifts to ~40 while inf degenerates to plain RW"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — L1D miss latency
+# ---------------------------------------------------------------------------
+
+
+def figure11(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    configs = [
+        ("eager", config(base, AtomicMode.EAGER)),
+        ("lazy", config(base, AtomicMode.LAZY)),
+        (
+            "RW+Dir_U/D",
+            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.UPDOWN),
+        ),
+        (
+            "RW+Dir_Sat",
+            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE),
+        ),
+    ]
+    fig = FigureData(
+        "Fig.11",
+        "Average L1D miss latency (cycles) for all memory instructions",
+        ["workload"] + [name for name, _ in configs],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        row: list[object] = [wl]
+        for _, cfg in configs:
+            row.append(mean_over_seeds(run_seeds(wl, cfg, scale), "miss_latency"))
+        fig.add_row(*row)
+    fig.notes.append(
+        "paper: eager nearly doubles the miss latency of lazy on contended"
+        " apps (pc/sps/tpcc); RoW tracks lazy there"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — contention-prediction accuracy
+# ---------------------------------------------------------------------------
+
+
+def figure12(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    fig = FigureData(
+        "Fig.12",
+        "Contention-prediction accuracy of RoW (RW+Dir detection)",
+        ["workload", "U/D", "Sat"],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        accs = []
+        for predictor in (PredictorKind.UPDOWN, PredictorKind.SATURATE):
+            cfg = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, predictor)
+            accs.append(mean_over_seeds(run_seeds(wl, cfg, scale), "accuracy"))
+        fig.add_row(wl, *accs)
+    ud = [r[1] for r in fig.rows]
+    sat = [r[2] for r in fig.rows]
+    fig.add_row("MEAN", sum(ud) / len(ud), sum(sat) / len(sat))
+    fig.notes.append(
+        "paper: U/D 86%, Sat 73% (Sat deliberately over-predicts contention)"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — forwarding to atomics
+# ---------------------------------------------------------------------------
+
+
+def figure13(scale: ExperimentScale | None = None) -> FigureData:
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    configs = [
+        ("lazy", config(base, AtomicMode.LAZY)),
+        ("eager+fwd", config(base, AtomicMode.EAGER, forwarding=True)),
+        (
+            "RW+Dir_U/D",
+            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.UPDOWN),
+        ),
+        (
+            "RW+Dir_U/D+fwd",
+            config(
+                base,
+                AtomicMode.ROW,
+                DetectionMode.RW_DIR,
+                PredictorKind.UPDOWN,
+                forwarding=True,
+            ),
+        ),
+        (
+            "RW+Dir_Sat",
+            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE),
+        ),
+        (
+            "RW+Dir_Sat+fwd",
+            config(
+                base,
+                AtomicMode.ROW,
+                DetectionMode.RW_DIR,
+                PredictorKind.SATURATE,
+                forwarding=True,
+            ),
+        ),
+    ]
+    fig = FigureData(
+        "Fig.13",
+        "Normalized execution time with store->atomic forwarding enabled",
+        ["workload"] + [name for name, _ in configs],
+    )
+    for wl in ATOMIC_WORKLOADS:
+        row: list[object] = [wl]
+        for _, cfg in configs:
+            row.append(normalized_time(wl, cfg, eager, scale))
+        fig.add_row(*row)
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns)):
+        agg.append(geomean([row[i] for row in fig.rows]))
+    fig.add_row(*agg)
+    fig.notes.append(
+        "paper: forwarding chiefly rescues cq (35% with RW+Dir_U/D) plus"
+        " barnes/tatp; lazy cannot use forwarding (SB drained by definition)"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Table I and the Sec. IV-F hardware budget
+# ---------------------------------------------------------------------------
+
+
+def table1() -> FigureData:
+    params = SystemParams.paper()
+    fig = FigureData("Table I", "System parameters (paper configuration)", ["parameter", "value"])
+    fig.add_row("cores", params.num_cores)
+    fig.add_row("fetch/issue/commit width", f"{params.fetch_width}/{params.issue_width}/{params.commit_width}")
+    fig.add_row("ROB/LQ/SB entries", f"{params.rob_entries}/{params.lq_entries}/{params.sb_entries}")
+    fig.add_row("atomic queue", params.aq_entries)
+    fig.add_row("branch predictor", params.branch_predictor.value)
+    fig.add_row("mem. dep. predictor", "StoreSet" if params.use_storeset else "none")
+    fig.add_row("L1I", f"{params.l1i.size_bytes//1024}KB, {params.l1i.ways} ways, {params.l1i.hit_cycles} cycles")
+    fig.add_row("L1D", f"{params.l1d.size_bytes//1024}KB, {params.l1d.ways} ways, {params.l1d.hit_cycles} cycles")
+    fig.add_row("L2", f"{params.l2.size_bytes//1024}KB, {params.l2.ways} ways, {params.l2.hit_cycles} cycles")
+    fig.add_row("L3 bank", f"{params.l3_bank.size_bytes//1024//1024}MB, {params.l3_bank.ways} ways, {params.l3_bank.hit_cycles} cycles")
+    fig.add_row("memory access", f"{params.memory_cycles} cycles")
+    cost = row_hardware_cost(params.row, params.aq_entries)
+    fig.add_row("RoW storage", f"{cost.total_storage_bytes:.0f} bytes")
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Headline numbers (Sec. VI summary)
+# ---------------------------------------------------------------------------
+
+
+def headline(scale: ExperimentScale | None = None) -> FigureData:
+    """RoW's summary claims: vs eager / vs lazy / all-applications."""
+    scale = _scale(scale)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    lazy = config(base, AtomicMode.LAZY)
+    best = config(
+        base,
+        AtomicMode.ROW,
+        DetectionMode.RW_DIR,
+        PredictorKind.UPDOWN,
+        forwarding=True,
+    )
+    best_sat = config(
+        base,
+        AtomicMode.ROW,
+        DetectionMode.RW_DIR,
+        PredictorKind.SATURATE,
+        forwarding=True,
+    )
+    fig = FigureData(
+        "Headline",
+        "RoW summary claims (reductions in execution time)",
+        ["metric", "paper", "reproduced"],
+    )
+
+    def reduction(cfg_a: SystemParams, cfg_b: SystemParams, workloads) -> tuple[float, float]:
+        ratios = [normalized_time(wl, cfg_a, cfg_b, scale) for wl in workloads]
+        avg = 1.0 - geomean(ratios)
+        best_red = 1.0 - min(ratios)
+        return avg, best_red
+
+    for label, cfg in (("RW+Dir_U/D+fwd", best), ("RW+Dir_Sat+fwd", best_sat)):
+        avg, mx = reduction(cfg, eager, ATOMIC_WORKLOADS)
+        fig.add_row(f"{label} vs eager (atomic-intensive, avg)", "9.2%", f"{100*avg:.1f}%")
+        fig.add_row(f"{label} vs eager (max)", "43%", f"{100*mx:.1f}%")
+        avg_l, _ = reduction(cfg, lazy, ATOMIC_WORKLOADS)
+        fig.add_row(f"{label} vs lazy (avg)", "8.5%", f"{100*avg_l:.1f}%")
+    avg_all, _ = reduction(best, eager, ALL_WORKLOADS)
+    fig.add_row("RW+Dir_U/D+fwd vs eager (all apps)", "4.0%", f"{100*avg_all:.1f}%")
+    return fig
+
+
+ALL_FIGURES = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+    "fig12": figure12,
+    "fig13": figure13,
+    "table1": lambda scale=None: table1(),
+    "headline": headline,
+}

@@ -1,0 +1,64 @@
+"""Plain-text rendering of figure/table data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureData:
+    """One regenerated table or figure, as rows of named columns."""
+
+    figure_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.figure_id}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[object]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_column: str | None = None) -> dict[object, list[object]]:
+        key_idx = self.columns.index(key_column) if key_column else 0
+        return {row[key_idx]: row for row in self.rows}
+
+    def render(self) -> str:
+        return render_table(
+            f"{self.figure_id}: {self.title}", self.columns, self.rows, self.notes
+        )
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    columns: list[str],
+    rows: list[list[object]],
+    notes: list[str] | None = None,
+) -> str:
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines = [title, "=" * max(len(title), len(header)), header, sep]
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    for note in notes or []:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,213 @@
+"""Experiment runner: multi-seed simulation with memoization.
+
+The figure-regeneration functions in :mod:`repro.analysis.figures` share
+baseline runs heavily (the eager run of a workload appears in Figs. 1, 5, 6,
+9, 11 and 13), so results are memoized per process keyed by the workload,
+scale and full system configuration.  The eager-collapse under contention is
+a threshold phenomenon and seed-sensitive (see DESIGN.md), so every metric
+is aggregated over several trace seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.params import (
+    AtomicMode,
+    DetectionMode,
+    PredictorKind,
+    SystemParams,
+)
+from repro.common.stats import geomean
+from repro.sim.multicore import RunResult, simulate
+from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.synthetic import build_program
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big each experiment run is."""
+
+    name: str
+    num_threads: int
+    instructions_per_thread: int
+    seeds: tuple[int, ...]
+
+
+SMOKE = ExperimentScale("smoke", 4, 1200, (0,))
+QUICK = ExperimentScale("quick", 8, 4000, (0, 1))
+FULL = ExperimentScale("full", 8, 8000, (0, 1, 2))
+PAPER = ExperimentScale("paper", 32, 20000, (0, 1, 2))
+
+_SCALES = {s.name: s for s in (SMOKE, QUICK, FULL, PAPER)}
+
+
+def default_scale() -> ExperimentScale:
+    """Scale selected by the REPRO_SCALE environment variable (default quick)."""
+    return _SCALES[os.environ.get("REPRO_SCALE", "quick")]
+
+
+def scale_by_name(name: str) -> ExperimentScale:
+    return _SCALES[name]
+
+
+def base_params(scale: ExperimentScale) -> SystemParams:
+    """System parameters matching an experiment scale."""
+    if scale.name == "paper":
+        return SystemParams.paper()
+    if scale.name == "smoke":
+        return SystemParams.quick()
+    return SystemParams.small()
+
+
+# ---------------------------------------------------------------------------
+# Named configurations (the bars of Figs. 9 and 13)
+# ---------------------------------------------------------------------------
+
+
+def config(
+    base: SystemParams,
+    mode: AtomicMode,
+    detection: DetectionMode | None = None,
+    predictor: PredictorKind | None = None,
+    forwarding: bool = False,
+    latency_threshold: int | None | str = "default",
+) -> SystemParams:
+    """Build a run configuration from a base parameter set."""
+    row_overrides: dict[str, object] = {"forward_to_atomics": forwarding}
+    if detection is not None:
+        row_overrides["detection"] = detection
+    if predictor is not None:
+        row_overrides["predictor"] = predictor
+    if latency_threshold != "default":
+        row_overrides["latency_threshold"] = latency_threshold
+    return base.with_atomic_mode(mode, **row_overrides)
+
+
+ROW_VARIANTS: tuple[tuple[str, DetectionMode, PredictorKind], ...] = (
+    ("EW_U/D", DetectionMode.EW, PredictorKind.UPDOWN),
+    ("EW_Sat", DetectionMode.EW, PredictorKind.SATURATE),
+    ("RW_U/D", DetectionMode.RW, PredictorKind.UPDOWN),
+    ("RW_Sat", DetectionMode.RW, PredictorKind.SATURATE),
+    ("RW+Dir_U/D", DetectionMode.RW_DIR, PredictorKind.UPDOWN),
+    ("RW+Dir_Sat", DetectionMode.RW_DIR, PredictorKind.SATURATE),
+)
+
+
+# ---------------------------------------------------------------------------
+# Metric extraction and caching
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunMetrics:
+    """The per-run numbers the figures consume (small, cacheable)."""
+
+    workload: str
+    cycles: int
+    instructions: int
+    atomics: int
+    atomics_per_10k: float
+    contended_truth_frac: float
+    contended_detected: int
+    miss_latency: float
+    breakdown: dict[str, float]
+    accuracy: float
+    older_unexecuted_mean: float
+    younger_started_mean: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def from_result(result: RunResult) -> "RunMetrics":
+        cs = result.merged_core_stats()
+        counters = {
+            name: cs.counter(name).value
+            for name in (
+                "atomics_issued_eager",
+                "atomics_issued_lazy",
+                "atomics_promoted_eager",
+                "atomics_forwarded",
+                "lock_revocations",
+                "externals_blocked_on_lock",
+                "order_violations",
+                "inv_squashes",
+                "branch_mispredicts",
+                "loads_forwarded",
+            )
+        }
+        return RunMetrics(
+            workload=result.program_name,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            atomics=result.atomics_committed(),
+            atomics_per_10k=result.atomics_per_10k(),
+            contended_truth_frac=result.contended_fraction(),
+            contended_detected=cs.counter("atomics_contended_detected").value,
+            miss_latency=result.avg_miss_latency(),
+            breakdown=result.breakdown.means(),
+            accuracy=result.predictor_accuracy(),
+            older_unexecuted_mean=cs.histogram(
+                "older_unexecuted_at_eager_issue"
+            ).mean,
+            younger_started_mean=cs.histogram(
+                "younger_started_at_lazy_issue"
+            ).mean,
+            counters=counters,
+        )
+
+
+_cache: dict[tuple, RunMetrics] = {}
+
+
+def clear_cache() -> None:
+    _cache.clear()
+
+
+def run_one(
+    workload: str | WorkloadProfile,
+    params: SystemParams,
+    scale: ExperimentScale,
+    seed: int,
+) -> RunMetrics:
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    key = (profile.name, repr(profile), repr(params), scale.num_threads,
+           scale.instructions_per_thread, seed)
+    hit = _cache.get(key)
+    if hit is not None:
+        return hit
+    threads = min(scale.num_threads, params.num_cores)
+    program = build_program(
+        profile, threads, scale.instructions_per_thread, seed=seed
+    )
+    metrics = RunMetrics.from_result(simulate(params, program))
+    _cache[key] = metrics
+    return metrics
+
+
+def run_seeds(
+    workload: str | WorkloadProfile,
+    params: SystemParams,
+    scale: ExperimentScale,
+) -> list[RunMetrics]:
+    return [run_one(workload, params, scale, seed) for seed in scale.seeds]
+
+
+def normalized_time(
+    workload: str | WorkloadProfile,
+    params: SystemParams,
+    baseline: SystemParams,
+    scale: ExperimentScale,
+) -> float:
+    """Geomean over seeds of cycles(params)/cycles(baseline)."""
+    ratios = []
+    for seed in scale.seeds:
+        a = run_one(workload, params, scale, seed)
+        b = run_one(workload, baseline, scale, seed)
+        ratios.append(a.cycles / b.cycles)
+    return geomean(ratios)
+
+
+def mean_over_seeds(metrics: list[RunMetrics], attr: str) -> float:
+    values = [getattr(m, attr) for m in metrics]
+    return sum(values) / len(values) if values else 0.0

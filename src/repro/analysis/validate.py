@@ -1,0 +1,236 @@
+"""Shape validation: the paper's qualitative claims as checkable predicates.
+
+Absolute numbers differ between the paper's testbed and this scaled model,
+but each figure's *shape* — orderings, winners, crossovers — is a concrete,
+testable claim.  This module encodes those claims once so the benchmark
+harness, the CLI (``python -m repro validate``) and CI can all check the
+same thing.
+
+Every check returns a :class:`CheckResult`; a figure validates if all its
+checks hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.report import FigureData
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    figure_id: str
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.figure_id} :: {self.name} — {self.detail}"
+
+
+def _check(figure_id: str, name: str, passed: bool, detail: str) -> CheckResult:
+    return CheckResult(figure_id, name, bool(passed), detail)
+
+
+def _cols(fig: FigureData) -> dict[str, int]:
+    return {name: i for i, name in enumerate(fig.columns)}
+
+
+# ---------------------------------------------------------------------------
+# Per-figure shape checks
+# ---------------------------------------------------------------------------
+
+
+def validate_fig1(fig: FigureData) -> list[CheckResult]:
+    rows = fig.row_map()
+    ratio = lambda wl: rows[wl][1]  # noqa: E731
+    return [
+        _check(
+            "Fig.1", "canneal strongly eager-favoring",
+            ratio("canneal") > 1.25, f"lazy/eager={ratio('canneal'):.2f}",
+        ),
+        _check(
+            "Fig.1", "freqmine eager-favoring",
+            ratio("freqmine") > 1.05, f"lazy/eager={ratio('freqmine'):.2f}",
+        ),
+        _check(
+            "Fig.1", "pc strongly lazy-favoring",
+            ratio("pc") < 0.8, f"lazy/eager={ratio('pc'):.2f}",
+        ),
+        _check(
+            "Fig.1", "contended trio all lazy-favoring",
+            all(ratio(wl) < 1.0 for wl in ("tpcc", "sps", "pc")),
+            ", ".join(f"{wl}={ratio(wl):.2f}" for wl in ("tpcc", "sps", "pc")),
+        ),
+        _check(
+            "Fig.1", "middle apps near-neutral",
+            all(0.85 < ratio(wl) < 1.2 for wl in ("fmm", "volrend", "radiosity")),
+            ", ".join(
+                f"{wl}={ratio(wl):.2f}" for wl in ("fmm", "volrend", "radiosity")
+            ),
+        ),
+    ]
+
+
+def validate_fig2(fig: FigureData) -> list[CheckResult]:
+    rows = {(r[0], r[1], r[2]): r[3] for r in fig.rows}
+
+    def ratio(machine, op, a, b):
+        return rows[(machine, op, a)] / rows[(machine, op, b)]
+
+    return [
+        _check(
+            "Fig.2", "old x86: lock prefix ~doubles cycles",
+            1.5 < ratio("old-x86", "faa", "lock", "plain") < 3.0,
+            f"lock/plain={ratio('old-x86', 'faa', 'lock', 'plain'):.2f}",
+        ),
+        _check(
+            "Fig.2", "old x86: mfence free on top of lock",
+            ratio("old-x86", "faa", "lock+mfence", "lock") < 1.15,
+            f"lock+mfence/lock={ratio('old-x86', 'faa', 'lock+mfence', 'lock'):.2f}",
+        ),
+        _check(
+            "Fig.2", "new x86: lock prefix free",
+            ratio("new-x86", "faa", "lock", "plain") < 1.15,
+            f"lock/plain={ratio('new-x86', 'faa', 'lock', 'plain'):.2f}",
+        ),
+        _check(
+            "Fig.2", "new x86: mfence costs ~4x",
+            ratio("new-x86", "faa", "plain+mfence", "plain") > 2.5,
+            f"mfence/plain={ratio('new-x86', 'faa', 'plain+mfence', 'plain'):.2f}",
+        ),
+        _check(
+            "Fig.2", "xchg always locks",
+            ratio("old-x86", "swap", "plain", "lock") > 0.85,
+            f"swap plain/lock={ratio('old-x86', 'swap', 'plain', 'lock'):.2f}",
+        ),
+    ]
+
+
+def validate_fig9(fig: FigureData) -> list[CheckResult]:
+    cols = _cols(fig)
+    geo = fig.row_map()["GEOMEAN"]
+    rows = fig.row_map()
+    best_dir = min(geo[cols["RW+Dir_U/D"]], geo[cols["RW+Dir_Sat"]])
+    best_ew = min(geo[cols["EW_U/D"]], geo[cols["EW_Sat"]])
+    return [
+        _check(
+            "Fig.9", "RW+Dir beats always-eager on average",
+            best_dir < 1.0, f"geomean={best_dir:.3f}",
+        ),
+        _check(
+            "Fig.9", "RW+Dir at least matches lazy overall",
+            best_dir <= geo[cols["lazy"]] + 0.02,
+            f"RW+Dir={best_dir:.3f} vs lazy={geo[cols['lazy']]:.3f}",
+        ),
+        _check(
+            "Fig.9", "EW insufficient (clearly worse than RW+Dir)",
+            best_ew > best_dir + 0.03,
+            f"EW={best_ew:.3f} vs RW+Dir={best_dir:.3f}",
+        ),
+        _check(
+            "Fig.9", "RoW preserves eager's win on canneal",
+            rows["canneal"][cols["RW+Dir_Sat"]] < 1.05,
+            f"canneal RW+Dir_Sat={rows['canneal'][cols['RW+Dir_Sat']]:.3f}",
+        ),
+        _check(
+            "Fig.9", "cq pathology without forwarding",
+            rows["cq"][cols["RW+Dir_Sat"]] > 1.0,
+            f"cq RW+Dir_Sat={rows['cq'][cols['RW+Dir_Sat']]:.3f}",
+        ),
+    ]
+
+
+def validate_fig10(fig: FigureData) -> list[CheckResult]:
+    cols = _cols(fig)
+    geo = fig.row_map()["GEOMEAN"]
+    scaled = geo[cols["thr_40"]]
+    inf = geo[cols["thr_inf"]]
+    return [
+        _check(
+            "Fig.10", "scaled threshold at/near the optimum",
+            scaled <= min(geo[c] for n, c in cols.items() if n != "workload") + 0.02,
+            f"thr_40={scaled:.3f}",
+        ),
+        _check(
+            "Fig.10", "inf degenerates toward RW",
+            inf > scaled, f"thr_inf={inf:.3f} vs thr_40={scaled:.3f}",
+        ),
+    ]
+
+
+def validate_fig11(fig: FigureData) -> list[CheckResult]:
+    cols = _cols(fig)
+    rows = fig.row_map()
+    return [
+        _check(
+            "Fig.11", "eager inflates miss latency on contended apps",
+            all(
+                rows[wl][cols["eager"]] > 1.2 * rows[wl][cols["lazy"]]
+                for wl in ("pc", "sps", "tpcc")
+            ),
+            ", ".join(
+                f"{wl}: {rows[wl][cols['eager']]:.0f}/{rows[wl][cols['lazy']]:.0f}"
+                for wl in ("pc", "sps", "tpcc")
+            ),
+        ),
+        _check(
+            "Fig.11", "policy-insensitive on canneal",
+            abs(rows["canneal"][cols["eager"]] - rows["canneal"][cols["lazy"]])
+            < 0.25 * rows["canneal"][cols["lazy"]],
+            f"canneal eager={rows['canneal'][cols['eager']]:.0f}"
+            f" lazy={rows['canneal'][cols['lazy']]:.0f}",
+        ),
+    ]
+
+
+def validate_fig13(fig: FigureData) -> list[CheckResult]:
+    cols = _cols(fig)
+    rows = fig.row_map()
+    geo = rows["GEOMEAN"]
+    return [
+        _check(
+            "Fig.13", "forwarding recovers cq",
+            rows["cq"][cols["RW+Dir_U/D+fwd"]]
+            <= rows["cq"][cols["RW+Dir_U/D"]] + 0.02,
+            f"cq {rows['cq'][cols['RW+Dir_U/D']]:.3f} ->"
+            f" {rows['cq'][cols['RW+Dir_U/D+fwd']]:.3f}",
+        ),
+        _check(
+            "Fig.13", "forwarding never hurts on average",
+            geo[cols["RW+Dir_Sat+fwd"]] <= geo[cols["RW+Dir_Sat"]] + 0.02,
+            f"Sat {geo[cols['RW+Dir_Sat']]:.3f} ->"
+            f" {geo[cols['RW+Dir_Sat+fwd']]:.3f}",
+        ),
+        _check(
+            "Fig.13", "best RoW+fwd beats eager by a solid margin",
+            min(geo[cols["RW+Dir_U/D+fwd"]], geo[cols["RW+Dir_Sat+fwd"]]) < 0.95,
+            f"best={min(geo[cols['RW+Dir_U/D+fwd']], geo[cols['RW+Dir_Sat+fwd']]):.3f}",
+        ),
+    ]
+
+
+VALIDATORS: dict[str, Callable[[FigureData], list[CheckResult]]] = {
+    "fig1": validate_fig1,
+    "fig2": validate_fig2,
+    "fig9": validate_fig9,
+    "fig10": validate_fig10,
+    "fig11": validate_fig11,
+    "fig13": validate_fig13,
+}
+
+
+def validate_figure(name: str, fig: FigureData) -> list[CheckResult]:
+    validator = VALIDATORS.get(name)
+    if validator is None:
+        return []
+    return validator(fig)
+
+
+def validate_all(figures: dict[str, FigureData]) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    for name, fig in figures.items():
+        results.extend(validate_figure(name, fig))
+    return results

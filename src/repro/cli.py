@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        simulate one workload under one or more execution policies
+figure     regenerate one of the paper's figures/tables
+microbench run the Sec. II-A fence microbenchmark
+list       list workloads and figures
+sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.figures import ALL_FIGURES
+from repro.analysis.report import render_table
+from repro.analysis.runner import scale_by_name
+from repro.common.params import AtomicMode, SystemParams
+from repro.common.stats import geomean
+from repro.isa.instructions import AtomicOp
+from repro.isa.serialize import load_program, save_program
+from repro.sim.multicore import simulate
+from repro.workloads.inspect import analyze_program
+from repro.workloads.microbench import VARIANTS, build_microbench
+from repro.workloads.profiles import WORKLOADS, get_profile
+from repro.workloads.synthetic import build_program
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--instructions", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--config",
+        choices=("quick", "small", "paper"),
+        default="small",
+        help="system configuration preset",
+    )
+
+
+def _params(args) -> SystemParams:
+    factory = {
+        "quick": SystemParams.quick,
+        "small": SystemParams.small,
+        "paper": SystemParams.paper,
+    }[args.config]
+    return factory()
+
+
+def cmd_run(args) -> int:
+    params = _params(args)
+    program = build_program(
+        args.workload, min(args.threads, params.num_cores), args.instructions,
+        seed=args.seed,
+    )
+    modes = [AtomicMode(m) for m in args.modes]
+    rows = []
+    baseline = None
+    for mode in modes:
+        result = simulate(params.with_atomic_mode(mode), program)
+        if baseline is None:
+            baseline = result.cycles
+        b = result.breakdown.means()
+        rows.append(
+            [
+                mode.value,
+                result.cycles,
+                round(result.cycles / baseline, 3),
+                round(result.ipc, 2),
+                result.atomics_committed(),
+                f"{100 * result.contended_fraction():.1f}%",
+                round(b["lock_to_unlock"], 1),
+            ]
+        )
+    print(
+        render_table(
+            f"workload {args.workload!r} "
+            f"({program.total_instructions()} instructions)",
+            ["mode", "cycles", "norm", "ipc", "atomics", "contended", "lock_win"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fn = ALL_FIGURES[args.figure]
+    scale = scale_by_name(args.scale)
+    fig = fn(scale)
+    print(fig.render())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(fig.render())
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    from repro.analysis.figures import legacy_core_params, modern_core_params
+
+    params = legacy_core_params() if args.machine == "old" else modern_core_params()
+    rows = []
+    for op in (AtomicOp.FAA, AtomicOp.CAS, AtomicOp.SWAP):
+        for variant in VARIANTS:
+            program = build_microbench(op, variant, iterations=args.iterations)
+            result = simulate(params, program)
+            rows.append([op.value, variant, round(result.cycles / args.iterations, 2)])
+    print(
+        render_table(
+            f"fence microbenchmark on the {args.machine} machine",
+            ["op", "variant", "cycles/iter"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        [name, p.atomics_per_10k, "yes" if p.atomic_intensive else "no", p.description[:58]]
+        for name, p in WORKLOADS.items()
+    ]
+    print(
+        render_table(
+            "workloads", ["name", "atomics/10k", "intensive", "description"], rows
+        )
+    )
+    print("figures:", ", ".join(sorted(ALL_FIGURES)))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    params = _params(args)
+    base_profile = get_profile(args.workload)
+    values = [float(v) for v in args.values.split(",")]
+    rows = []
+    for value in values:
+        profile = base_profile.with_overrides(
+            **{args.knob: value}, name=f"{args.workload}-sweep"
+        )
+        ratios = []
+        for seed in range(args.seeds):
+            program = build_program(
+                profile, min(args.threads, params.num_cores),
+                args.instructions, seed=seed,
+            )
+            eager = simulate(params.with_atomic_mode(AtomicMode.EAGER), program)
+            lazy = simulate(params.with_atomic_mode(AtomicMode.LAZY), program)
+            ratios.append(lazy.cycles / eager.cycles)
+        rows.append([value, round(geomean(ratios), 3)])
+    print(
+        render_table(
+            f"sweep of {args.knob} on {args.workload} (lazy/eager)",
+            [args.knob, "lazy/eager"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.action == "generate":
+        program = build_program(
+            args.workload, args.threads, args.instructions, seed=args.seed
+        )
+        path = save_program(program, args.path)
+        print(f"wrote {program.total_instructions()} instructions to {path}")
+        return 0
+    program = load_program(args.path)
+    if args.action == "inspect":
+        stats = analyze_program(program)
+        rows = [
+            [
+                tid,
+                s.instructions,
+                round(s.atomics_per_10k, 1),
+                round(s.hot_atomic_fraction, 2),
+                s.locality_pairs,
+                s.distinct_lines,
+            ]
+            for tid, s in stats.items()
+        ]
+        print(
+            render_table(
+                f"trace {program.name!r}",
+                ["thread", "instrs", "atomics/10k", "hot_frac", "locality", "lines"],
+                rows,
+            )
+        )
+        return 0
+    # action == "run"
+    params = _params(args).with_atomic_mode(AtomicMode(args.mode))
+    result = simulate(params, program)
+    print(
+        f"{program.name}: {result.cycles:,} cycles, ipc={result.ipc:.2f}, "
+        f"atomics={result.atomics_committed()}"
+    )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis.validate import VALIDATORS, validate_figure
+
+    scale = scale_by_name(args.scale)
+    names = args.figures or sorted(VALIDATORS)
+    failures = 0
+    for name in names:
+        fig = ALL_FIGURES[name](scale)
+        results = validate_figure(name, fig)
+        for result in results:
+            print(result)
+            failures += not result.passed
+    print(f"\n{failures} failing check(s)" if failures else "\nall checks passed")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'No Rush in Executing Atomic Instructions'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload", choices=sorted(WORKLOADS))
+    p_run.add_argument(
+        "--modes",
+        nargs="+",
+        default=["eager", "lazy", "row"],
+        choices=[m.value for m in AtomicMode],
+    )
+    _add_common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))
+    p_fig.add_argument(
+        "--scale", choices=("smoke", "quick", "full", "paper"), default="quick"
+    )
+    p_fig.add_argument("--output", help="also write the table to a file")
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_micro = sub.add_parser("microbench", help="Sec. II-A fence microbenchmark")
+    p_micro.add_argument("--machine", choices=("old", "new"), default="new")
+    p_micro.add_argument("--iterations", type=int, default=600)
+    p_micro.set_defaults(fn=cmd_microbench)
+
+    p_list = sub.add_parser("list", help="list workloads and figures")
+    p_list.set_defaults(fn=cmd_list)
+
+    p_val = sub.add_parser(
+        "validate", help="check the paper's qualitative claims end to end"
+    )
+    p_val.add_argument(
+        "--scale", choices=("smoke", "quick", "full", "paper"), default="quick"
+    )
+    p_val.add_argument("--figures", nargs="*", help="subset of figures to check")
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_trace = sub.add_parser("trace", help="generate / inspect / run trace files")
+    p_trace.add_argument("action", choices=("generate", "inspect", "run"))
+    p_trace.add_argument("path", help="trace JSON file")
+    p_trace.add_argument("--workload", choices=sorted(WORKLOADS), default="pc")
+    p_trace.add_argument("--mode", default="eager",
+                         choices=[m.value for m in AtomicMode])
+    _add_common(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_sweep = sub.add_parser("sweep", help="sweep one workload knob")
+    p_sweep.add_argument("workload", choices=sorted(WORKLOADS))
+    p_sweep.add_argument(
+        "--knob",
+        choices=("hot_fraction", "atomics_per_10k", "store_before_atomic_prob"),
+        default="hot_fraction",
+    )
+    p_sweep.add_argument("--values", default="0.0,0.3,0.6,0.9")
+    p_sweep.add_argument("--seeds", type=int, default=2)
+    _add_common(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Shared infrastructure: parameters, statistics, deterministic RNG."""
+
+from repro.common.params import (
+    AtomicMode,
+    BranchPredictorKind,
+    CacheParams,
+    DetectionMode,
+    PredictorKind,
+    RowParams,
+    SystemParams,
+)
+from repro.common.rng import derive_seed, make_rng
+from repro.common.stats import (
+    Accumulator,
+    AtomicLatencyBreakdown,
+    Counter,
+    Histogram,
+    StatGroup,
+    geomean,
+    merge_groups,
+)
+
+__all__ = [
+    "Accumulator",
+    "AtomicLatencyBreakdown",
+    "AtomicMode",
+    "BranchPredictorKind",
+    "CacheParams",
+    "Counter",
+    "DetectionMode",
+    "Histogram",
+    "PredictorKind",
+    "RowParams",
+    "StatGroup",
+    "SystemParams",
+    "derive_seed",
+    "geomean",
+    "make_rng",
+    "merge_groups",
+]

@@ -1,0 +1,30 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component of the simulator (trace generators, workload
+address streams) derives its generator from a ``(master_seed, *scope)`` tuple
+so that runs are reproducible and per-thread streams are independent: two
+threads of the same workload never share a stream, and re-running a workload
+with the same seed replays the identical instruction trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, *scope: object) -> int:
+    """Derive a stable 63-bit seed from a master seed and a scope path.
+
+    The scope is hashed (SHA-256 of its repr) rather than summed so that
+    (seed, "a", 1) and (seed, "a1") cannot collide.
+    """
+    payload = repr((int(master_seed), scope)).encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def make_rng(master_seed: int, *scope: object) -> np.random.Generator:
+    """Create an independent numpy Generator for the given scope."""
+    return np.random.default_rng(derive_seed(master_seed, *scope))

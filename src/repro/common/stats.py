@@ -1,0 +1,227 @@
+"""Statistics plumbing: counters, histograms and latency breakdowns.
+
+Every simulator component owns a :class:`StatGroup`; the multicore harness
+merges per-core groups into run-level summaries that the figure-regeneration
+code in :mod:`repro.analysis` consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Tracks sum / count / min / max of a stream of samples."""
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, sample: float) -> None:
+        self.total += sample
+        self.count += 1
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Accumulator") -> None:
+        self.total += other.total
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Accumulator({self.name}: mean={self.mean:.2f}, n={self.count})"
+
+
+class Histogram:
+    """A sparse integer histogram."""
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: dict[int, int] = defaultdict(int)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self.buckets[value] += weight
+
+    @property
+    def count(self) -> int:
+        return sum(self.buckets.values())
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        if not n:
+            return 0.0
+        return sum(v * w for v, w in self.buckets.items()) / n
+
+    def percentile(self, p: float) -> int:
+        """Return the smallest value at or below which ``p`` of mass falls."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {p}")
+        n = self.count
+        if not n:
+            return 0
+        target = p * n
+        running = 0
+        for value in sorted(self.buckets):
+            running += self.buckets[value]
+            if running >= target:
+                return value
+        return max(self.buckets)
+
+    def merge(self, other: "Histogram") -> None:
+        for value, weight in other.buckets.items():
+            self.buckets[value] += weight
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self.buckets.items()))
+
+
+@dataclass
+class AtomicLatencyBreakdown:
+    """Per-atomic latency split used by Fig. 6.
+
+    dispatch_to_issue : cycles between ROB allocation and (final) issue
+    issue_to_lock     : cycles between issue and the cacheline lock
+    lock_to_unlock    : cycles the cacheline stays locked
+    """
+
+    dispatch_to_issue: Accumulator = field(
+        default_factory=lambda: Accumulator("dispatch_to_issue")
+    )
+    issue_to_lock: Accumulator = field(
+        default_factory=lambda: Accumulator("issue_to_lock")
+    )
+    lock_to_unlock: Accumulator = field(
+        default_factory=lambda: Accumulator("lock_to_unlock")
+    )
+
+    def record(self, dispatch: int, issue: int, lock: int, unlock: int) -> None:
+        self.dispatch_to_issue.add(issue - dispatch)
+        self.issue_to_lock.add(lock - issue)
+        self.lock_to_unlock.add(unlock - lock)
+
+    def merge(self, other: "AtomicLatencyBreakdown") -> None:
+        self.dispatch_to_issue.merge(other.dispatch_to_issue)
+        self.issue_to_lock.merge(other.issue_to_lock)
+        self.lock_to_unlock.merge(other.lock_to_unlock)
+
+    def means(self) -> dict[str, float]:
+        return {
+            "dispatch_to_issue": self.dispatch_to_issue.mean,
+            "issue_to_lock": self.issue_to_lock.mean,
+            "lock_to_unlock": self.lock_to_unlock.mean,
+        }
+
+
+class StatGroup:
+    """A namespaced bag of counters/accumulators/histograms.
+
+    Components call :meth:`counter`, :meth:`accumulator` or :meth:`histogram`
+    lazily; the first call creates the stat, later calls return the same
+    object, so callers never need declaration boilerplate.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        self._accumulators: dict[str, Accumulator] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        stat = self._counters.get(name)
+        if stat is None:
+            stat = self._counters[name] = Counter(name)
+        return stat
+
+    def accumulator(self, name: str) -> Accumulator:
+        stat = self._accumulators.get(name)
+        if stat is None:
+            stat = self._accumulators[name] = Accumulator(name)
+        return stat
+
+    def histogram(self, name: str) -> Histogram:
+        stat = self._histograms.get(name)
+        if stat is None:
+            stat = self._histograms[name] = Histogram(name)
+        return stat
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def merge(self, other: "StatGroup") -> None:
+        for name, counter in other._counters.items():
+            self.counter(name).add(counter.value)
+        for name, acc in other._accumulators.items():
+            self.accumulator(name).merge(acc)
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict view, convenient for assertions and reports."""
+        out: dict[str, object] = dict(self.counters())
+        for name, acc in self._accumulators.items():
+            out[f"{name}.mean"] = acc.mean
+            out[f"{name}.count"] = acc.count
+        for name, hist in self._histograms.items():
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.count"] = hist.count
+        return out
+
+
+def merge_groups(groups: Iterable[StatGroup], name: str = "merged") -> StatGroup:
+    merged = StatGroup(name)
+    for group in groups:
+        merged.merge(group)
+    return merged
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, the standard aggregate for normalized execution time."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,7 @@
+"""Out-of-order core: pipeline, dynamic instructions, StoreSet, AQ entries."""
+
+from repro.core.dyninstr import AQEntry, DynInstr
+from repro.core.pipeline import Core
+from repro.core.storeset import StoreSetPredictor
+
+__all__ = ["AQEntry", "Core", "DynInstr", "StoreSetPredictor"]

@@ -1,0 +1,146 @@
+"""Dynamic (in-flight) instruction state and Atomic Queue entries.
+
+A :class:`DynInstr` wraps one fetched instance of a static
+:class:`~repro.isa.instructions.Instruction` and carries every timestamp the
+paper's figures need (dispatch, ready, issue, lock, unlock, commit) plus the
+RoW per-atomic flags (predicted contention, only-calculate-address,
+detected contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.isa.instructions import Instruction, InstrClass
+
+_UNSET = -1
+
+
+class DynInstr:
+    """One in-flight instruction instance."""
+
+    __slots__ = (
+        "static",
+        "uid",
+        "deps_left",
+        "consumers",
+        "fetch_cycle",
+        "dispatch_cycle",
+        "ready_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        "issued",
+        "completed",
+        "committed",
+        "squashed",
+        "value",
+        "addr_computed",
+        "mem_requested",
+        "fwd_store_uid",
+        "fwd_store_seq",
+        "value_read_from_memory",
+        "write_requested",
+        "mispredicted",
+        "predicted_contended",
+        "exec_eager",
+        "only_calc_addr",
+        "addr_pass_done",
+        "promoted_by_forwarding",
+        "lock_cycle",
+        "unlock_cycle",
+        "compute_pending",
+        "aq_entry",
+        "storeset_wait_uid",
+        "new_mem_value",
+        "first_issue_cycle",
+    )
+
+    def __init__(self, static: Instruction, uid: int, fetch_cycle: int) -> None:
+        self.static = static
+        self.uid = uid  # globally unique dynamic id (survives replays)
+        self.deps_left = 0
+        self.consumers: list[DynInstr] = []
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = _UNSET
+        self.ready_cycle = _UNSET
+        self.issue_cycle = _UNSET
+        self.complete_cycle = _UNSET
+        self.commit_cycle = _UNSET
+        self.issued = False
+        self.completed = False
+        self.committed = False
+        self.squashed = False
+        self.value = 0
+        self.addr_computed = False
+        self.mem_requested = False
+        self.fwd_store_uid: Optional[int] = None
+        self.fwd_store_seq: Optional[int] = None
+        self.value_read_from_memory = False
+        self.write_requested = False
+        self.mispredicted = False
+        # --- atomic / RoW state ---
+        self.predicted_contended = False
+        self.exec_eager = True
+        self.only_calc_addr = False
+        self.addr_pass_done = False
+        self.promoted_by_forwarding = False
+        self.lock_cycle = _UNSET
+        self.unlock_cycle = _UNSET
+        self.compute_pending = False
+        self.aq_entry: Optional[AQEntry] = None
+        self.storeset_wait_uid: Optional[int] = None
+        self.new_mem_value = 0
+        self.first_issue_cycle = _UNSET
+
+    # Convenience passthroughs -----------------------------------------
+
+    @property
+    def seq(self) -> int:
+        return self.static.seq
+
+    @property
+    def cls(self) -> InstrClass:
+        return self.static.cls
+
+    @property
+    def pc(self) -> int:
+        return self.static.pc
+
+    @property
+    def line(self) -> int:
+        return self.static.line
+
+    @property
+    def addr(self) -> int:
+        assert self.static.addr is not None
+        return self.static.addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynInstr(seq={self.seq}, {self.static.cls.name}, uid={self.uid},"
+            f" issued={self.issued}, completed={self.completed})"
+        )
+
+
+@dataclass
+class AQEntry:
+    """One Atomic Queue entry (Free Atomics, augmented by RoW).
+
+    Per Sec. IV-F each entry adds to the baseline AQ: a *contended* bit, an
+    *only-calculate-address* bit and a 14-bit *request issued cycle*
+    timestamp.  ``contended_truth`` is simulator-omniscient ground truth
+    (used for Fig. 5 and predictor-accuracy stats), not hardware state.
+    """
+
+    dyn: DynInstr
+    line: int | None = None
+    locked: bool = False
+    contended: bool = False
+    only_calc_addr: bool = False
+    request_issued_stamp: int | None = None  # low timestamp_bits of the cycle
+    contended_truth: bool = False
+    data_from_private: bool = False
+    data_latency: int | None = None
+    external_seen: bool = field(default=False)

@@ -1,0 +1,100 @@
+"""StoreSet memory-dependence predictor (Chrysos & Emer, ISCA 1998).
+
+Two tables, as in the original design:
+
+* SSIT (Store Set ID Table): PC-indexed, maps loads and stores that have
+  collided in the past to a common store-set id.
+* LFST (Last Fetched Store Table): per store-set id, the most recently
+  dispatched store of the set that is still in flight.
+
+A load whose PC maps to a valid store set must wait for the set's last
+fetched store to resolve its address before issuing; a store entering the
+pipeline replaces the set's LFST entry.  Training happens on memory-order
+violations.
+"""
+
+from __future__ import annotations
+
+from repro.core.dyninstr import DynInstr
+
+
+class StoreSetPredictor:
+    INVALID = -1
+
+    def __init__(self, ssit_entries: int = 1024, lfst_entries: int = 128) -> None:
+        if ssit_entries & (ssit_entries - 1) or lfst_entries & (lfst_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self.ssit_entries = ssit_entries
+        self.lfst_entries = lfst_entries
+        self.ssit = [self.INVALID] * ssit_entries
+        # LFST maps store-set id -> in-flight store DynInstr (or None).
+        self.lfst: list[DynInstr | None] = [None] * lfst_entries
+        self._next_set_id = 0
+
+    def _ssit_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.ssit_entries - 1)
+
+    def set_id_of(self, pc: int) -> int:
+        return self.ssit[self._ssit_index(pc)]
+
+    # ------------------------------------------------------------------
+    # Pipeline hooks
+    # ------------------------------------------------------------------
+
+    def store_dispatched(self, store: DynInstr) -> None:
+        sid = self.set_id_of(store.pc)
+        if sid != self.INVALID:
+            self.lfst[sid % self.lfst_entries] = store
+
+    def store_resolved(self, store: DynInstr) -> None:
+        """The store's address is known; release waiting loads."""
+        sid = self.set_id_of(store.pc)
+        if sid != self.INVALID:
+            idx = sid % self.lfst_entries
+            if self.lfst[idx] is store:
+                self.lfst[idx] = None
+
+    def store_squashed(self, store: DynInstr) -> None:
+        sid = self.set_id_of(store.pc)
+        if sid != self.INVALID:
+            idx = sid % self.lfst_entries
+            if self.lfst[idx] is store:
+                self.lfst[idx] = None
+
+    def load_dependence(self, load_pc: int) -> DynInstr | None:
+        """Store this load should wait for, or None if free to issue."""
+        sid = self.set_id_of(load_pc)
+        if sid == self.INVALID:
+            return None
+        dep = self.lfst[sid % self.lfst_entries]
+        if dep is None or dep.squashed:
+            return None
+        return dep
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the colliding load and store into one store set."""
+        load_sid = self.set_id_of(load_pc)
+        store_sid = self.set_id_of(store_pc)
+        if load_sid == self.INVALID and store_sid == self.INVALID:
+            sid = self._allocate_set_id()
+            self.ssit[self._ssit_index(load_pc)] = sid
+            self.ssit[self._ssit_index(store_pc)] = sid
+        elif load_sid == self.INVALID:
+            self.ssit[self._ssit_index(load_pc)] = store_sid
+        elif store_sid == self.INVALID:
+            self.ssit[self._ssit_index(store_pc)] = load_sid
+        else:
+            # Both assigned: merge into the smaller id (declawed version of
+            # the paper's "merge into the lower-numbered set" rule).
+            winner = min(load_sid, store_sid)
+            self.ssit[self._ssit_index(load_pc)] = winner
+            self.ssit[self._ssit_index(store_pc)] = winner
+
+    def _allocate_set_id(self) -> int:
+        sid = self._next_set_id
+        self._next_set_id += 1
+        return sid

@@ -1,0 +1,15 @@
+"""Front-end substrate: branch prediction (fetch lives in the core pipeline)."""
+
+from repro.frontend.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    TagePredictor,
+    make_branch_predictor,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "TagePredictor",
+    "make_branch_predictor",
+]

@@ -1,0 +1,29 @@
+"""Bimodal branch predictor (Smith, ISCA 1981): a PC-indexed table of
+2-bit saturating counters.  Also the base component of the TAGE predictor."""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    def __init__(self, entries: int = 4096, counter_bits: int = 2) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.mask = entries - 1
+        self.max_count = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self.table = [self.threshold] * entries
+
+    def index(self, pc: int) -> int:
+        return (pc >> 2) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self.index(pc)] >= self.threshold
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self.index(pc)
+        if taken:
+            if self.table[i] < self.max_count:
+                self.table[i] += 1
+        elif self.table[i] > 0:
+            self.table[i] -= 1

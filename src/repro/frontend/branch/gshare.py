@@ -1,0 +1,29 @@
+"""Gshare branch predictor: global history XOR PC indexing a counter table."""
+
+from __future__ import annotations
+
+
+class GsharePredictor:
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.mask = entries - 1
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self.table = [2] * entries  # 2-bit counters, weakly taken
+
+    def index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self.index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self.index(pc)
+        if taken:
+            if self.table[i] < 3:
+                self.table[i] += 1
+        elif self.table[i] > 0:
+            self.table[i] -= 1
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask

@@ -1,0 +1,170 @@
+"""A simplified TAGE branch predictor.
+
+Table I of the paper specifies TAGE-SC-L; this implementation keeps the TAGE
+core (a bimodal base plus N partially-tagged tables indexed with
+geometrically increasing global-history lengths, provider/altpred selection,
+useful counters and allocation on mispredict) and omits the statistical
+corrector and loop predictor, which only sharpen accuracy at the margin.
+The front-end model charges a redirect penalty per mispredict, so predictor
+quality feeds fetch-stall behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.branch.bimodal import BimodalPredictor
+
+
+@dataclass
+class _TageEntry:
+    tag: int = 0
+    counter: int = 4  # 3-bit signed-ish counter in [0, 7]; taken if >= 4
+    useful: int = 0
+
+
+class _TaggedTable:
+    def __init__(self, entries: int, history_len: int, tag_bits: int) -> None:
+        self.entries = entries
+        self.mask = entries - 1
+        self.history_len = history_len
+        self.tag_bits = tag_bits
+        self.tag_mask = (1 << tag_bits) - 1
+        self.table = [_TageEntry() for _ in range(entries)]
+
+    def fold(self, history: int, bits: int) -> int:
+        """Fold ``history_len`` history bits down to ``bits`` via XOR."""
+        h = history & ((1 << self.history_len) - 1)
+        folded = 0
+        while h:
+            folded ^= h & ((1 << bits) - 1)
+            h >>= bits
+        return folded
+
+    def index(self, pc: int, history: int) -> int:
+        bits = self.mask.bit_length()
+        return ((pc >> 2) ^ self.fold(history, max(1, bits))) & self.mask
+
+    def tag(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (self.fold(history, self.tag_bits) << 1)) & self.tag_mask
+
+
+class TagePredictor:
+    """TAGE with a bimodal base and geometrically spaced tagged tables."""
+
+    def __init__(
+        self,
+        num_tables: int = 4,
+        table_entries: int = 1024,
+        min_history: int = 4,
+        max_history: int = 64,
+        tag_bits: int = 9,
+        base_entries: int = 4096,
+    ) -> None:
+        self.base = BimodalPredictor(base_entries)
+        self.history = 0
+        self.history_bits = max_history
+        ratio = (max_history / min_history) ** (1.0 / max(1, num_tables - 1))
+        lengths = sorted(
+            {max(1, round(min_history * ratio**i)) for i in range(num_tables)}
+        )
+        self.tables = [
+            _TaggedTable(table_entries, length, tag_bits) for length in lengths
+        ]
+        self.use_alt_on_new = 0  # in [0, 15]; prefer altpred for fresh entries
+
+    # ------------------------------------------------------------------
+
+    def _lookup(self, pc: int) -> tuple[int | None, int | None]:
+        """Return (provider_table_idx, alt_table_idx) of tag hits."""
+        provider = None
+        alt = None
+        for t in range(len(self.tables) - 1, -1, -1):
+            table = self.tables[t]
+            entry = table.table[table.index(pc, self.history)]
+            if entry.tag == table.tag(pc, self.history):
+                if provider is None:
+                    provider = t
+                else:
+                    alt = t
+                    break
+        return provider, alt
+
+    def _table_prediction(self, t: int, pc: int) -> tuple[bool, _TageEntry]:
+        table = self.tables[t]
+        entry = table.table[table.index(pc, self.history)]
+        return entry.counter >= 4, entry
+
+    def predict(self, pc: int) -> bool:
+        provider, alt = self._lookup(pc)
+        if provider is None:
+            return self.base.predict(pc)
+        pred, entry = self._table_prediction(provider, pc)
+        weak_new = entry.useful == 0 and entry.counter in (3, 4)
+        if weak_new and self.use_alt_on_new >= 8:
+            if alt is not None:
+                return self._table_prediction(alt, pc)[0]
+            return self.base.predict(pc)
+        return pred
+
+    def update(self, pc: int, taken: bool) -> None:
+        provider, alt = self._lookup(pc)
+        if provider is None:
+            provider_pred = self.base.predict(pc)
+            alt_pred = provider_pred
+            entry = None
+        else:
+            provider_pred, entry = self._table_prediction(provider, pc)
+            if alt is not None:
+                alt_pred = self._table_prediction(alt, pc)[0]
+            else:
+                alt_pred = self.base.predict(pc)
+
+        final_pred = self.predict(pc)
+
+        if entry is not None:
+            # Track whether trusting fresh entries' altpred helps.
+            weak_new = entry.useful == 0 and entry.counter in (3, 4)
+            if weak_new and provider_pred != alt_pred:
+                if alt_pred == taken and self.use_alt_on_new < 15:
+                    self.use_alt_on_new += 1
+                elif provider_pred == taken and self.use_alt_on_new > 0:
+                    self.use_alt_on_new -= 1
+            # Useful bit: provider correct where altpred was wrong.
+            if provider_pred != alt_pred:
+                if provider_pred == taken:
+                    entry.useful = min(3, entry.useful + 1)
+                else:
+                    entry.useful = max(0, entry.useful - 1)
+            # Counter update.
+            if taken:
+                entry.counter = min(7, entry.counter + 1)
+            else:
+                entry.counter = max(0, entry.counter - 1)
+        else:
+            self.base.update(pc, taken)
+
+        # Allocate a longer-history entry on mispredict.
+        if final_pred != taken:
+            start = (provider + 1) if provider is not None else 0
+            self._allocate(pc, taken, start)
+
+        self.history = ((self.history << 1) | int(taken)) & (
+            (1 << self.history_bits) - 1
+        )
+
+    def _allocate(self, pc: int, taken: bool, start: int) -> None:
+        for t in range(start, len(self.tables)):
+            table = self.tables[t]
+            idx = table.index(pc, self.history)
+            entry = table.table[idx]
+            if entry.useful == 0:
+                entry.tag = table.tag(pc, self.history)
+                entry.counter = 4 if taken else 3
+                entry.useful = 0
+                return
+        # Nothing allocatable: decay useful counters along the way.
+        for t in range(start, len(self.tables)):
+            table = self.tables[t]
+            entry = table.table[table.index(pc, self.history)]
+            entry.useful = max(0, entry.useful - 1)

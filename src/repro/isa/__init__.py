@@ -1,0 +1,44 @@
+"""Instruction-set abstraction: instructions, atomic semantics, traces."""
+
+from repro.isa.instructions import (
+    LINE_BYTES,
+    LINE_SHIFT,
+    MEMORY_CLASSES,
+    AtomicOp,
+    Instruction,
+    InstrClass,
+    Program,
+    ThreadTrace,
+    alu,
+    apply_atomic,
+    atomic,
+    branch,
+    line_of,
+    load,
+    mfence,
+    nop,
+    store,
+)
+from repro.isa.serialize import load_program, save_program
+
+__all__ = [
+    "LINE_BYTES",
+    "LINE_SHIFT",
+    "MEMORY_CLASSES",
+    "AtomicOp",
+    "InstrClass",
+    "Instruction",
+    "Program",
+    "ThreadTrace",
+    "alu",
+    "apply_atomic",
+    "atomic",
+    "branch",
+    "line_of",
+    "load",
+    "load_program",
+    "mfence",
+    "nop",
+    "save_program",
+    "store",
+]

@@ -1,0 +1,210 @@
+"""Instruction-set abstraction for the timing model.
+
+The simulator is trace-driven: workload generators produce per-thread lists
+of :class:`Instruction` with explicit register dataflow (``src_deps`` name
+the producing instructions by their per-thread sequence number).  The
+pipeline wraps each fetched instance in a mutable dynamic record; the static
+objects here are immutable and may be replayed after a pipeline flush.
+
+Atomic RMWs carry an :class:`AtomicOp` and real operands.  The model moves
+architecturally real integer values, so atomicity (e.g. N threads performing
+M fetch-and-increments yield exactly N*M) is a testable end-to-end invariant
+of the coherence + Atomic Queue machinery, not an assumption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+LINE_SHIFT = 6  # 64-byte cachelines throughout (Table I)
+LINE_BYTES = 1 << LINE_SHIFT
+
+
+def line_of(addr: int) -> int:
+    """Cacheline index of a byte address."""
+    return addr >> LINE_SHIFT
+
+
+class InstrClass(enum.IntEnum):
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+    ATOMIC = 4
+    MFENCE = 5
+    NOP = 6
+
+
+class AtomicOp(enum.Enum):
+    """The three RMW operations studied in Sec. II-A."""
+
+    FAA = "faa"  # fetch-and-add
+    CAS = "cas"  # compare-and-swap
+    SWAP = "swap"  # exchange (xchg; always locking on x86)
+
+
+MEMORY_CLASSES = frozenset({InstrClass.LOAD, InstrClass.STORE, InstrClass.ATOMIC})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static trace entry.
+
+    seq       -- per-thread position in the trace (0-based, dense).
+    src_deps  -- sequence numbers of older instructions whose results this
+                 one consumes; issue waits until all have completed.
+    addr      -- byte address for memory classes, None otherwise.
+    locked    -- for ATOMIC: True models the x86 ``lock`` prefix.  The
+                 microbenchmark of Sec. II-A also runs RMWs *without* the
+                 prefix (a plain load/modify/store that is not atomic).
+    """
+
+    seq: int
+    cls: InstrClass
+    pc: int
+    src_deps: tuple[int, ...] = ()
+    addr: int | None = None
+    exec_latency: int = 1
+    atomic_op: AtomicOp | None = None
+    operand: int = 1
+    cas_expected: int = 0
+    taken: bool = False
+    locked: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cls in MEMORY_CLASSES and self.addr is None:
+            raise ValueError(f"memory instruction {self.seq} needs an address")
+        if self.cls is InstrClass.ATOMIC and self.atomic_op is None:
+            raise ValueError(f"atomic instruction {self.seq} needs an atomic_op")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.cls in MEMORY_CLASSES
+
+    @property
+    def line(self) -> int:
+        if self.addr is None:
+            raise ValueError("non-memory instruction has no line")
+        return self.addr >> LINE_SHIFT
+
+
+def apply_atomic(op: AtomicOp, old: int, operand: int, cas_expected: int) -> tuple[int, int]:
+    """Functional semantics of an RMW.
+
+    Returns ``(new_memory_value, value_loaded_into_register)``.
+    """
+    if op is AtomicOp.FAA:
+        return old + operand, old
+    if op is AtomicOp.CAS:
+        if old == cas_expected:
+            return operand, old
+        return old, old
+    if op is AtomicOp.SWAP:
+        return operand, old
+    raise ValueError(f"unknown atomic op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors (used heavily by workload generators and tests)
+# ---------------------------------------------------------------------------
+
+
+def alu(seq: int, pc: int, deps: tuple[int, ...] = (), latency: int = 1) -> Instruction:
+    return Instruction(seq, InstrClass.ALU, pc, src_deps=deps, exec_latency=latency)
+
+
+def load(seq: int, pc: int, addr: int, deps: tuple[int, ...] = ()) -> Instruction:
+    return Instruction(seq, InstrClass.LOAD, pc, src_deps=deps, addr=addr)
+
+
+def store(seq: int, pc: int, addr: int, value: int = 0, deps: tuple[int, ...] = ()) -> Instruction:
+    return Instruction(
+        seq, InstrClass.STORE, pc, src_deps=deps, addr=addr, operand=value
+    )
+
+
+def branch(seq: int, pc: int, taken: bool, deps: tuple[int, ...] = ()) -> Instruction:
+    return Instruction(seq, InstrClass.BRANCH, pc, src_deps=deps, taken=taken)
+
+
+def atomic(
+    seq: int,
+    pc: int,
+    addr: int,
+    op: AtomicOp = AtomicOp.FAA,
+    operand: int = 1,
+    cas_expected: int = 0,
+    deps: tuple[int, ...] = (),
+    locked: bool = True,
+) -> Instruction:
+    return Instruction(
+        seq,
+        InstrClass.ATOMIC,
+        pc,
+        src_deps=deps,
+        addr=addr,
+        atomic_op=op,
+        operand=operand,
+        cas_expected=cas_expected,
+        locked=locked,
+    )
+
+
+def mfence(seq: int, pc: int) -> Instruction:
+    return Instruction(seq, InstrClass.MFENCE, pc)
+
+
+def nop(seq: int, pc: int) -> Instruction:
+    return Instruction(seq, InstrClass.NOP, pc)
+
+
+@dataclass
+class ThreadTrace:
+    """The full instruction stream of one thread."""
+
+    thread_id: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def validate(self) -> None:
+        """Check trace well-formedness: dense seqs, deps point backwards."""
+        for i, instr in enumerate(self.instructions):
+            if instr.seq != i:
+                raise ValueError(
+                    f"thread {self.thread_id}: instruction {i} has seq {instr.seq}"
+                )
+            for dep in instr.src_deps:
+                if not 0 <= dep < i:
+                    raise ValueError(
+                        f"thread {self.thread_id}: instr {i} depends on {dep}"
+                    )
+
+    def count(self, cls: InstrClass) -> int:
+        return sum(1 for instr in self.instructions if instr.cls is cls)
+
+
+@dataclass
+class Program:
+    """A multithreaded workload: one trace per core, plus initial memory."""
+
+    name: str
+    traces: list[ThreadTrace]
+    initial_memory: dict[int, int] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.traces)
+
+    def validate(self) -> None:
+        for trace in self.traces:
+            trace.validate()
+
+    def total_instructions(self) -> int:
+        return sum(len(t) for t in self.traces)

@@ -1,0 +1,125 @@
+"""Program serialization: save/load traces as JSON artifacts.
+
+Lets an experiment pin the *exact* instruction streams it ran (rather than
+a (profile, seed) pair whose meaning could drift with generator changes),
+and lets external tools author traces for the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.isa.instructions import (
+    AtomicOp,
+    Instruction,
+    InstrClass,
+    Program,
+    ThreadTrace,
+)
+
+FORMAT_VERSION = 1
+
+
+def instruction_to_record(instr: Instruction) -> list:
+    """Compact positional record (traces are large; keys would dominate)."""
+    return [
+        instr.cls.value,
+        instr.pc,
+        list(instr.src_deps),
+        instr.addr,
+        instr.exec_latency,
+        instr.atomic_op.value if instr.atomic_op else None,
+        instr.operand,
+        instr.cas_expected,
+        int(instr.taken),
+        int(instr.locked),
+    ]
+
+
+def instruction_from_record(seq: int, record: list) -> Instruction:
+    (
+        cls_value,
+        pc,
+        deps,
+        addr,
+        latency,
+        op_value,
+        operand,
+        cas_expected,
+        taken,
+        locked,
+    ) = record
+    return Instruction(
+        seq,
+        InstrClass(cls_value),
+        pc,
+        src_deps=tuple(deps),
+        addr=addr,
+        exec_latency=latency,
+        atomic_op=AtomicOp(op_value) if op_value else None,
+        operand=operand,
+        cas_expected=cas_expected,
+        taken=bool(taken),
+        locked=bool(locked),
+    )
+
+
+def program_to_dict(program: Program) -> dict:
+    meta = {
+        key: value
+        for key, value in program.metadata.items()
+        if isinstance(value, (str, int, float, bool, list, dict, tuple))
+    }
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": program.name,
+        "initial_memory": {str(k): v for k, v in program.initial_memory.items()},
+        "metadata": meta,
+        "threads": [
+            {
+                "thread_id": trace.thread_id,
+                "instructions": [
+                    instruction_to_record(i) for i in trace.instructions
+                ],
+            }
+            for trace in program.traces
+        ],
+    }
+
+
+def program_from_dict(payload: dict) -> Program:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    traces = []
+    for thread in payload["threads"]:
+        instructions = [
+            instruction_from_record(seq, record)
+            for seq, record in enumerate(thread["instructions"])
+        ]
+        traces.append(ThreadTrace(thread["thread_id"], instructions))
+    program = Program(
+        payload["name"],
+        traces,
+        initial_memory={
+            int(k): v for k, v in payload.get("initial_memory", {}).items()
+        },
+        metadata=dict(payload.get("metadata", {})),
+    )
+    program.validate()
+    return program
+
+
+def save_program(program: Program, path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(program_to_dict(program)))
+    return path
+
+
+def load_program(path: str | pathlib.Path) -> Program:
+    return program_from_dict(json.loads(pathlib.Path(path).read_text()))

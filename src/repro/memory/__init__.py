@@ -1,0 +1,26 @@
+"""Memory system substrate: caches, MESI directory coherence, mesh network."""
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.controller import PrivateCacheController
+from repro.memory.directory import DirectoryBank, DirEntry
+from repro.memory.interconnect import MeshNetwork
+from repro.memory.messages import (
+    EXTERNAL_KINDS,
+    REQUEST_KINDS,
+    Message,
+    MsgKind,
+)
+from repro.memory.prefetcher import IPStridePrefetcher
+
+__all__ = [
+    "DirEntry",
+    "DirectoryBank",
+    "EXTERNAL_KINDS",
+    "IPStridePrefetcher",
+    "MeshNetwork",
+    "Message",
+    "MsgKind",
+    "PrivateCacheController",
+    "REQUEST_KINDS",
+    "SetAssocCache",
+]

@@ -1,0 +1,161 @@
+"""Set-associative cache arrays with pluggable replacement and line pinning.
+
+These arrays track *presence* (which lines live in L1D/L2/L3 and where).
+Coherence permissions live in the per-core controller; architectural values
+live in the global memory image.  Pinning supports cache locking: a line
+locked by the Atomic Queue may never be chosen as a victim (Sec. II-B —
+"stall ... a potential eviction of this cacheline from the L1D").
+
+Replacement policies (``CacheParams.replacement``):
+
+* ``LRU``    — classic least-recently-used (the paper's configuration).
+* ``FIFO``   — insertion order, no touch refresh.
+* ``RANDOM`` — deterministic pseudo-random victim (xorshift), useful for
+  replacement-sensitivity studies.
+* ``SRRIP``  — static re-reference interval prediction (Jaleel et al.,
+  ISCA 2010) with 2-bit RRPVs.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import CacheParams, ReplacementPolicy
+
+_SRRIP_MAX = 3  # 2-bit RRPV
+_SRRIP_INSERT = 2  # long re-reference prediction on insert
+
+
+class SetAssocCache:
+    """A set-associative cache keyed by cacheline index."""
+
+    def __init__(self, params: CacheParams, name: str = "cache") -> None:
+        self.params = params
+        self.name = name
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        self.policy = params.replacement
+        # Per-set mapping line -> policy metadata (stamp or RRPV).
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._stamp = 0
+        self._pinned: set[int] = set()
+        self._rng_state = 0x9E3779B9 ^ hash(name) & 0xFFFFFFFF or 1
+
+    # ------------------------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._sets[line % self.num_sets]
+
+    def touch(self, line: int) -> bool:
+        """Record a hit (refresh recency); returns False if absent."""
+        s = self._sets[line % self.num_sets]
+        if line not in s:
+            return False
+        if self.policy is ReplacementPolicy.LRU:
+            self._stamp += 1
+            s[line] = self._stamp
+        elif self.policy is ReplacementPolicy.SRRIP:
+            s[line] = 0  # near-immediate re-reference
+        # FIFO and RANDOM ignore hits.
+        return True
+
+    def pin(self, line: int) -> None:
+        self._pinned.add(line)
+
+    def unpin(self, line: int) -> None:
+        self._pinned.discard(line)
+
+    def is_pinned(self, line: int) -> bool:
+        return line in self._pinned
+
+    def insert(self, line: int) -> int | None:
+        """Insert a line, returning the evicted victim line (or None).
+
+        Raises ``RuntimeError`` if every way of the target set is pinned and
+        the set is full: callers must check :meth:`can_insert` first when the
+        line being inserted could conflict with locked lines.
+        """
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            self.touch(line)
+            return None
+        victim = None
+        if len(s) >= self.ways:
+            victim = self._pick_victim(s)
+            if victim is None:
+                raise RuntimeError(
+                    f"{self.name}: all ways pinned in set {line % self.num_sets}"
+                )
+            del s[victim]
+        if self.policy is ReplacementPolicy.SRRIP:
+            s[line] = _SRRIP_INSERT
+        else:
+            self._stamp += 1
+            s[line] = self._stamp
+        return victim
+
+    def can_insert(self, line: int) -> bool:
+        """True if an insert would succeed (a non-pinned victim exists)."""
+        s = self._sets[line % self.num_sets]
+        if line in s or len(s) < self.ways:
+            return True
+        return any(candidate not in self._pinned for candidate in s)
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def _pick_victim(self, s: dict[int, int]) -> int | None:
+        candidates = [line for line in s if line not in self._pinned]
+        if not candidates:
+            return None
+        if self.policy is ReplacementPolicy.RANDOM:
+            return candidates[self._next_random() % len(candidates)]
+        if self.policy is ReplacementPolicy.SRRIP:
+            return self._srrip_victim(s, candidates)
+        # LRU and FIFO: smallest stamp (oldest use / oldest insertion).
+        victim = candidates[0]
+        victim_stamp = s[victim]
+        for candidate in candidates[1:]:
+            if s[candidate] < victim_stamp:
+                victim = candidate
+                victim_stamp = s[candidate]
+        return victim
+
+    def _srrip_victim(self, s: dict[int, int], candidates: list[int]) -> int:
+        # Age every unpinned line until one reaches the distant-future RRPV.
+        while True:
+            for candidate in candidates:
+                if s[candidate] >= _SRRIP_MAX:
+                    return candidate
+            for candidate in candidates:
+                s[candidate] += 1
+
+    def _next_random(self) -> int:
+        # xorshift32: deterministic, seeded by the cache name.
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._rng_state = x
+        return x
+
+    # ------------------------------------------------------------------
+
+    def remove(self, line: int) -> bool:
+        """Remove a line (e.g. on invalidation); returns True if present."""
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            del s[line]
+            return True
+        return False
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self) -> set[int]:
+        out: set[int] = set()
+        for s in self._sets:
+            out.update(s)
+        return out

@@ -1,0 +1,402 @@
+"""MESI directory protocol with GEMS-style blocked transient states.
+
+One :class:`DirectoryBank` lives at every mesh tile next to its L3 bank.
+A transaction blocks the directory entry from the moment a request is
+accepted until the requestor's Unblock arrives; requests that hit a blocked
+entry queue in FIFO order.  This is precisely the mechanism behind Fig. 8 of
+the paper: a second core's request for a line being handed to a first core
+waits in the blocked queue, so the invalidation it eventually triggers can
+reach the first core *after* that core's atomic has already unlocked — which
+is why execution-window/ready-window contention detection alone is
+insufficient and the latency-threshold (Dir) detector exists.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.common.params import SystemParams
+from repro.common.stats import StatGroup
+from repro.isa.instructions import apply_atomic
+from repro.memory.cache import SetAssocCache
+from repro.memory.messages import Message, MsgKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.image import MemoryImage
+    from repro.sim.engine import EventEngine
+
+
+@dataclass
+class DirEntry:
+    """Directory state for one cacheline."""
+
+    state: str = "I"  # I, S, M (E merged into M), B (blocked)
+    owner: int | None = None
+    sharers: set[int] = field(default_factory=set)
+    queue: deque[Message] = field(default_factory=deque)
+    # Transaction-in-progress bookkeeping (valid while state == "B"):
+    on_unblock: Callable[[], None] | None = None
+    pending_acks: int = 0
+    on_acks_done: Callable[[], None] | None = None
+
+
+class DirectoryBank:
+    """Directory + L3 bank for the lines homed at one mesh tile."""
+
+    def __init__(
+        self,
+        node: int,
+        params: SystemParams,
+        engine: "EventEngine",
+        stats: StatGroup | None = None,
+        image: "MemoryImage | None" = None,
+    ) -> None:
+        self.node = node
+        self.params = params
+        self.engine = engine
+        self.stats = stats if stats is not None else StatGroup(f"dir{node}")
+        self.l3 = SetAssocCache(params.l3_bank, name=f"l3[{node}]")
+        self.entries: dict[int, DirEntry] = {}
+        # Far atomics (extension) execute against the memory image here.
+        self.image = image
+
+    # ------------------------------------------------------------------
+
+    def entry(self, line: int) -> DirEntry:
+        e = self.entries.get(line)
+        if e is None:
+            e = self.entries[line] = DirEntry()
+        return e
+
+    def receive(self, msg: Message) -> None:
+        """Entry point for all messages addressed to this bank."""
+        if msg.kind in (MsgKind.GETS, MsgKind.GETX, MsgKind.AMO_REQ):
+            self._handle_request(msg)
+        elif msg.kind is MsgKind.PUTM:
+            self._handle_putm(msg)
+        elif msg.kind is MsgKind.UNBLOCK:
+            self._handle_unblock(msg)
+        elif msg.kind is MsgKind.INV_ACK:
+            self._handle_inv_ack(msg)
+        else:
+            raise ValueError(f"directory {self.node} cannot handle {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _handle_request(self, msg: Message) -> None:
+        e = self.entry(msg.line)
+        if e.state == "B":
+            e.queue.append(msg)
+            self.stats.counter("requests_queued").add()
+            return
+        self.stats.counter(f"requests_{msg.kind.value}").add()
+        if msg.kind is MsgKind.GETS:
+            self._do_gets(e, msg)
+        elif msg.kind is MsgKind.AMO_REQ:
+            self._do_amo(e, msg)
+        else:
+            self._do_getx(e, msg)
+
+    def _llc_fetch_delay(self, line: int) -> int:
+        """Latency to obtain the line at the LLC (hit or memory fetch)."""
+        hit = line in self.l3
+        self.l3.insert(line)
+        if hit:
+            self.stats.counter("l3_hits").add()
+            return self.params.l3_bank.hit_cycles
+        self.stats.counter("l3_misses").add()
+        return self.params.l3_bank.hit_cycles + self.params.memory_cycles
+
+    def _grant_from_llc(self, msg: Message, exclusive: bool, delay: int) -> None:
+        """Send DATA/DATA_E to the requestor after an LLC/memory delay."""
+        kind = MsgKind.DATA_E if exclusive else MsgKind.DATA
+        reply = Message(
+            kind,
+            msg.line,
+            src=self.node,
+            dst=msg.requestor,
+            requestor=msg.requestor,
+            exclusive=exclusive,
+            from_private_cache=False,
+            issued_cycle=msg.issued_cycle,
+        )
+        self.engine.schedule_in(
+            delay, lambda: self.engine.send(reply, to_directory=False)
+        )
+
+    def _do_gets(self, e: DirEntry, msg: Message) -> None:
+        req = msg.requestor
+        if e.state == "I":
+            delay = self._llc_fetch_delay(msg.line)
+            self._grant_from_llc(msg, exclusive=True, delay=delay)
+            self._block(e, lambda: self._become_owner(e, req))
+        elif e.state == "S":
+            delay = self._llc_fetch_delay(msg.line)
+            self._grant_from_llc(msg, exclusive=False, delay=delay)
+            self._block(e, lambda: self._add_sharer(e, req))
+        elif e.state == "M":
+            owner = e.owner
+            assert owner is not None
+            if owner == req:
+                # Degenerate re-request (e.g. raced with own writeback).
+                delay = self._llc_fetch_delay(msg.line)
+                self._grant_from_llc(msg, exclusive=True, delay=delay)
+                self._block(e, lambda: self._become_owner(e, req))
+                return
+            fwd = Message(
+                MsgKind.FWD_GETS,
+                msg.line,
+                src=self.node,
+                dst=owner,
+                requestor=req,
+                issued_cycle=msg.issued_cycle,
+            )
+            self.stats.counter("fwd_gets").add()
+            lookup = self.params.l3_bank.hit_cycles
+            self.engine.schedule_in(
+                lookup, lambda: self.engine.send(fwd, to_directory=False)
+            )
+            # Owner's dirty copy is written back to the LLC on the downgrade.
+            self.l3.insert(msg.line)
+            self._block(e, lambda: self._downgrade_owner(e, owner, req))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"GETS in unexpected state {e.state}")
+
+    def _do_getx(self, e: DirEntry, msg: Message) -> None:
+        req = msg.requestor
+        if e.state == "I":
+            delay = self._llc_fetch_delay(msg.line)
+            self._grant_from_llc(msg, exclusive=True, delay=delay)
+            self._block(e, lambda: self._become_owner(e, req))
+        elif e.state == "S":
+            targets = sorted(e.sharers - {req})
+            lookup = self.params.l3_bank.hit_cycles
+            if not targets:
+                self._grant_from_llc(msg, exclusive=True, delay=lookup)
+                self._block(e, lambda: self._become_owner(e, req))
+                return
+            self.stats.counter("invalidations_sent").add(len(targets))
+            e.pending_acks = len(targets)
+            e.on_acks_done = lambda: self._grant_from_llc(
+                msg, exclusive=True, delay=0
+            )
+            for sharer in targets:
+                inv = Message(
+                    MsgKind.INV,
+                    msg.line,
+                    src=self.node,
+                    dst=sharer,
+                    requestor=req,
+                    issued_cycle=msg.issued_cycle,
+                )
+                self.engine.schedule_in(
+                    lookup,
+                    lambda m=inv: self.engine.send(m, to_directory=False),
+                )
+            self._block(e, lambda: self._become_owner(e, req))
+        elif e.state == "M":
+            owner = e.owner
+            assert owner is not None
+            if owner == req:
+                delay = self._llc_fetch_delay(msg.line)
+                self._grant_from_llc(msg, exclusive=True, delay=delay)
+                self._block(e, lambda: self._become_owner(e, req))
+                return
+            fwd = Message(
+                MsgKind.FWD_GETX,
+                msg.line,
+                src=self.node,
+                dst=owner,
+                requestor=req,
+                issued_cycle=msg.issued_cycle,
+            )
+            self.stats.counter("fwd_getx").add()
+            lookup = self.params.l3_bank.hit_cycles
+            self.engine.schedule_in(
+                lookup, lambda: self.engine.send(fwd, to_directory=False)
+            )
+            self._block(e, lambda: self._become_owner(e, req))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"GETX in unexpected state {e.state}")
+
+    # ------------------------------------------------------------------
+    # Completions
+    # ------------------------------------------------------------------
+
+    def _block(self, e: DirEntry, on_unblock: Callable[[], None]) -> None:
+        e.state = "B"
+        e.on_unblock = on_unblock
+
+    def _become_owner(self, e: DirEntry, core: int) -> None:
+        e.state = "M"
+        e.owner = core
+        e.sharers = set()
+
+    def _add_sharer(self, e: DirEntry, core: int) -> None:
+        e.state = "S"
+        e.sharers.add(core)
+
+    def _downgrade_owner(self, e: DirEntry, owner: int, req: int) -> None:
+        e.state = "S"
+        e.owner = None
+        e.sharers = {owner, req}
+
+    def _handle_unblock(self, msg: Message) -> None:
+        e = self.entry(msg.line)
+        if e.state != "B" or e.on_unblock is None:  # pragma: no cover
+            raise RuntimeError(f"unexpected Unblock for line {msg.line:#x}")
+        action = e.on_unblock
+        e.on_unblock = None
+        action()
+        self.stats.counter("transactions").add()
+        if e.queue:
+            self._handle_request_from_queue(e)
+
+    def _handle_request_from_queue(self, e: DirEntry) -> None:
+        nxt = e.queue.popleft()
+        self.stats.counter(f"requests_{nxt.kind.value}").add()
+        if nxt.kind is MsgKind.GETS:
+            self._do_gets(e, nxt)
+        elif nxt.kind is MsgKind.GETX:
+            self._do_getx(e, nxt)
+        elif nxt.kind is MsgKind.AMO_REQ:
+            self._do_amo(e, nxt)
+        else:
+            self._apply_putm(e, nxt)
+            if e.queue and e.state != "B":
+                self._handle_request_from_queue(e)
+
+    def _handle_inv_ack(self, msg: Message) -> None:
+        e = self.entry(msg.line)
+        if e.pending_acks <= 0:  # pragma: no cover - defensive
+            raise RuntimeError(f"stray InvAck for line {msg.line:#x}")
+        e.pending_acks -= 1
+        if e.pending_acks == 0 and e.on_acks_done is not None:
+            action = e.on_acks_done
+            e.on_acks_done = None
+            action()
+
+    # ------------------------------------------------------------------
+    # Far atomics (extension; DESIGN.md §5)
+    # ------------------------------------------------------------------
+
+    def _do_amo(self, e: DirEntry, msg: Message) -> None:
+        """Execute an RMW at the home bank.
+
+        The line is pulled out of every private cache first (exactly one
+        writer, like a GetX whose requestor is the bank itself), then the
+        operation runs against the LLC copy and only the old value travels
+        back — no line transfer, no cache locking.
+        """
+        if self.image is None:
+            raise RuntimeError(
+                f"directory {self.node}: far atomics need a memory image"
+            )
+        if e.state == "I":
+            delay = self._llc_fetch_delay(msg.line)
+            e.state = "B"
+            self.engine.schedule_in(delay, lambda: self._finish_amo(e, msg))
+        elif e.state == "S":
+            targets = sorted(e.sharers)
+            if not targets:
+                e.state = "B"
+                self.engine.schedule_in(
+                    self.params.l3_bank.hit_cycles,
+                    lambda: self._finish_amo(e, msg),
+                )
+                return
+            e.state = "B"
+            e.pending_acks = len(targets)
+            e.on_acks_done = lambda: self._finish_amo(e, msg)
+            self.stats.counter("invalidations_sent").add(len(targets))
+            for sharer in targets:
+                inv = Message(
+                    MsgKind.INV,
+                    msg.line,
+                    src=self.node,
+                    dst=sharer,
+                    requestor=msg.requestor,
+                    issued_cycle=msg.issued_cycle,
+                )
+                self.engine.schedule_in(
+                    self.params.l3_bank.hit_cycles,
+                    lambda m=inv: self.engine.send(m, to_directory=False),
+                )
+        elif e.state == "M":
+            owner = e.owner
+            assert owner is not None
+            e.state = "B"
+            e.pending_acks = 1
+            e.on_acks_done = lambda: self._finish_amo(e, msg)
+            inv = Message(
+                MsgKind.INV,
+                msg.line,
+                src=self.node,
+                dst=owner,
+                requestor=msg.requestor,
+                issued_cycle=msg.issued_cycle,
+            )
+            self.engine.schedule_in(
+                self.params.l3_bank.hit_cycles,
+                lambda: self.engine.send(inv, to_directory=False),
+            )
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"AMO in unexpected state {e.state}")
+
+    def _finish_amo(self, e: DirEntry, msg: Message) -> None:
+        assert self.image is not None
+        old = self.image.read(msg.amo_addr)
+        new, loaded = apply_atomic(
+            msg.amo_op, old, msg.amo_operand, msg.amo_expected
+        )
+        self.image.write(msg.amo_addr, new)
+        self.l3.insert(msg.line)
+        e.state = "I"
+        e.owner = None
+        e.sharers = set()
+        self.stats.counter("amo_executed").add()
+        resp = Message(
+            MsgKind.AMO_RESP,
+            msg.line,
+            src=self.node,
+            dst=msg.requestor,
+            requestor=msg.requestor,
+            issued_cycle=msg.issued_cycle,
+            amo_old=loaded,
+            amo_new=new,
+        )
+        self.engine.send(resp, to_directory=False)
+        if e.queue:
+            self._handle_request_from_queue(e)
+
+    # ------------------------------------------------------------------
+    # Writebacks
+    # ------------------------------------------------------------------
+
+    def _handle_putm(self, msg: Message) -> None:
+        e = self.entry(msg.line)
+        if e.state == "B":
+            e.queue.append(msg)
+            return
+        self._apply_putm(e, msg)
+
+    def _apply_putm(self, e: DirEntry, msg: Message) -> None:
+        if e.state == "M" and e.owner == msg.src:
+            e.state = "I"
+            e.owner = None
+            self.l3.insert(msg.line)
+            self.stats.counter("writebacks").add()
+        else:
+            self.stats.counter("stale_putm").add()
+        ack = Message(
+            MsgKind.PUTM_ACK,
+            msg.line,
+            src=self.node,
+            dst=msg.src,
+            requestor=msg.src,
+        )
+        self.engine.send(ack, to_directory=False)

@@ -1,0 +1,33 @@
+"""Architectural memory image.
+
+A single coherence-serialized value store shared by all cores.  Reads and
+writes only happen at architecturally meaningful instants — a load when its
+data arrives (or forwards), a store when it drains from the SB holding M
+permission, an atomic's read at lock time and its write at unlock — so the
+values flowing through the simulator obey the same ordering the protocol
+enforces, making atomicity and TSO litmus outcomes testable end to end.
+"""
+
+from __future__ import annotations
+
+
+class MemoryImage:
+    def __init__(self, initial: dict[int, int] | None = None) -> None:
+        self._mem: dict[int, int] = dict(initial) if initial else {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, addr: int) -> int:
+        self.reads += 1
+        return self._mem.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        self.writes += 1
+        self._mem[addr] = value
+
+    def peek(self, addr: int) -> int:
+        """Read without counting (for tests and final-state checks)."""
+        return self._mem.get(addr, 0)
+
+    def snapshot(self) -> dict[int, int]:
+        return dict(self._mem)

@@ -1,0 +1,66 @@
+"""IP-stride (instruction-pointer indexed) L1D prefetcher (Table I).
+
+Classic design: a small table indexed by load PC records the last line
+touched and the last stride; two consecutive identical strides arm the
+entry, after which each access prefetches ``degree`` lines ahead.
+Prefetches are strictly best-effort: they never queue behind a full MSHR
+file and are dropped if the line is already present or in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.params import SystemParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.controller import PrivateCacheController
+
+
+@dataclass
+class _StrideEntry:
+    last_line: int
+    stride: int = 0
+    confident: bool = False
+
+
+class IPStridePrefetcher:
+    def __init__(self, params: SystemParams, controller: "PrivateCacheController") -> None:
+        self.params = params
+        self.controller = controller
+        self.entries: dict[int, _StrideEntry] = {}
+        self.max_entries = params.prefetcher_table_entries
+        self.degree = params.prefetcher_degree
+        self.issued = 0
+
+    def observe(self, pc: int, line: int) -> None:
+        entry = self.entries.get(pc)
+        if entry is None:
+            if len(self.entries) >= self.max_entries:
+                # Simple clock-less replacement: drop an arbitrary entry.
+                self.entries.pop(next(iter(self.entries)))
+            self.entries[pc] = _StrideEntry(last_line=line)
+            return
+        stride = line - entry.last_line
+        if stride == 0:
+            return
+        if stride == entry.stride:
+            entry.confident = True
+        else:
+            entry.confident = False
+            entry.stride = stride
+        entry.last_line = line
+        if not entry.confident:
+            return
+        for k in range(1, self.degree + 1):
+            target = line + k * entry.stride
+            if target < 0 or self.controller.has_permission(target, excl=False):
+                continue
+            self.issued += 1
+            self.controller.access(
+                target,
+                excl=False,
+                cb=lambda *_: None,
+                is_prefetch=True,
+            )

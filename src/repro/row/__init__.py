@@ -1,0 +1,17 @@
+"""Rush or Wait (RoW): contention prediction for atomic-instruction timing."""
+
+from repro.row.cost import HardwareCost, row_hardware_cost
+from repro.row.detection import ContentionDetector, elapsed, oracle_contended, stamp
+from repro.row.mechanism import RowMechanism
+from repro.row.predictor import ContentionPredictor
+
+__all__ = [
+    "ContentionDetector",
+    "ContentionPredictor",
+    "HardwareCost",
+    "RowMechanism",
+    "elapsed",
+    "oracle_contended",
+    "row_hardware_cost",
+    "stamp",
+]

@@ -1,0 +1,41 @@
+"""Hardware cost accounting for RoW (Sec. IV-F).
+
+The paper's budget: a 64-entry × 4-bit predictor table (256 bits) plus
+per-AQ-entry additions — 1 contended bit, 1 only-calculate-address bit and a
+14-bit issued-cycle timestamp — over a 16-entry AQ (256 bits), totalling
+512 bits = 64 bytes, alongside a 14-bit subtractor and a 14-bit comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.params import RowParams
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    predictor_bits: int
+    aq_augmentation_bits: int
+    subtractor_bits: int
+    comparator_bits: int
+
+    @property
+    def total_storage_bits(self) -> int:
+        return self.predictor_bits + self.aq_augmentation_bits
+
+    @property
+    def total_storage_bytes(self) -> float:
+        return self.total_storage_bits / 8
+
+
+def row_hardware_cost(params: RowParams, aq_entries: int = 16) -> HardwareCost:
+    """Compute the RoW storage budget for a configuration."""
+    predictor_bits = params.predictor_entries * params.counter_bits
+    per_entry = 1 + 1 + params.timestamp_bits  # contended + only-calc + stamp
+    return HardwareCost(
+        predictor_bits=predictor_bits,
+        aq_augmentation_bits=aq_entries * per_entry,
+        subtractor_bits=params.timestamp_bits,
+        comparator_bits=params.timestamp_bits,
+    )

@@ -1,0 +1,124 @@
+"""Contention-detection mechanisms (Sec. IV-A/B/C).
+
+Three escalating mechanisms decide when an in-flight atomic's *contended*
+bit is set:
+
+* **EW** (execution window): an external coherence request hits the line
+  while it is *locked* in the AQ.
+* **RW** (ready window): additionally, an external request matches the
+  address of *any* AQ entry — the address is available from the moment the
+  atomic's operands were ready thanks to the only-calculate-address pass.
+* **RW+Dir**: additionally, the data response that locks the line came from
+  a *remote private cache* and its latency exceeded a threshold, computed
+  with 14-bit wraparound timestamp arithmetic exactly as in the paper
+  (including the documented 2^14-cycle aliasing window).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.params import DetectionMode, RowParams
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.core.dyninstr import AQEntry
+
+
+def stamp(cycle: int, bits: int) -> int:
+    """Truncate a cycle count to the AQ's request-issued-cycle field width."""
+    return cycle & ((1 << bits) - 1)
+
+
+def elapsed(issued_stamp: int, now: int, bits: int) -> int:
+    """Unsigned wraparound subtraction on the truncated timestamps.
+
+    A true latency in [2^bits, 2^bits + threshold) aliases to a small value
+    and is misinterpreted as below-threshold — the paper's footnote 4 — and
+    this function reproduces that behaviour on purpose.
+    """
+    mask = (1 << bits) - 1
+    return (stamp(now, bits) - issued_stamp) & mask
+
+
+class ContentionDetector:
+    """Applies the configured detection mechanism to AQ entries."""
+
+    def __init__(self, params: RowParams) -> None:
+        self.params = params
+        self.mode = params.detection
+
+    @property
+    def tracks_ready_window(self) -> bool:
+        """RW/RW+Dir compute the atomic's address as soon as operands are
+        ready (the only-calculate-address pass), enabling the wider window."""
+        return self.mode in (DetectionMode.RW, DetectionMode.RW_DIR)
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the core)
+    # ------------------------------------------------------------------
+
+    def on_external_request(self, entry: "AQEntry", line: int) -> bool:
+        """An external Inv/Fwd for ``line`` reached the core.
+
+        Returns True if the entry was (newly) marked contended.  For EW the
+        line must be locked by this entry; for RW/RW+Dir an address match of
+        an unlocked entry is enough (Sec. IV-B: the AQ search performed to
+        stall the message doubles as the wider-window detector).
+        """
+        if entry.line != line:
+            return False
+        if self.mode is DetectionMode.EW and not entry.locked:
+            return False
+        newly = not entry.contended
+        entry.contended = True
+        return newly
+
+    def on_data_arrival(
+        self, entry: "AQEntry", now: int, from_private_cache: bool
+    ) -> bool:
+        """The GetX response arrived and the line is about to be locked.
+
+        RW+Dir marks the atomic contended when the sender was a remote
+        private cache and the 14-bit latency exceeds the threshold.
+        """
+        entry.data_from_private = from_private_cache
+        if entry.request_issued_stamp is not None:
+            entry.data_latency = elapsed(
+                entry.request_issued_stamp, now, self.params.timestamp_bits
+            )
+        if self.mode is not DetectionMode.RW_DIR:
+            return False
+        if not from_private_cache:
+            return False
+        threshold = self.params.latency_threshold
+        if threshold is None:  # "inf." point of Fig. 10: behaves like RW
+            return False
+        if entry.data_latency is None:
+            return False
+        if entry.data_latency > threshold:
+            newly = not entry.contended
+            entry.contended = True
+            return newly
+        return False
+
+
+def oracle_contended(
+    entry: "AQEntry", truth_threshold: int = 400
+) -> bool:
+    """Simulator-omniscient contention ground truth (stats only).
+
+    Mirrors the paper's definition — "an atomic is considered contended when
+    it accesses a cacheline concurrently used or requested by another
+    thread" — as observable events: an external request for the line during
+    the atomic's ready-to-unlock window, or the line arriving from a remote
+    private cache with a large latency (another core held it).
+    """
+    if entry.external_seen:
+        return True
+    if (
+        entry.data_from_private
+        and entry.data_latency is not None
+        and entry.data_latency > truth_threshold
+    ):
+        return True
+    return False

@@ -1,0 +1,64 @@
+"""Rush or Wait: the per-core mechanism tying predictor and detector together.
+
+Lifecycle of one atomic under RoW (Sec. IV):
+
+1. *Allocation*: the predictor is checked with the atomic's PC.  Predicted
+   non-contended → eager; predicted contended → lazy.
+2. *Operands ready*: regardless of the decision the atomic issues once to
+   calculate its address (only-calculate-address pass) so the ready-window
+   detector can match external requests; with forwarding enabled, a matching
+   older regular store in the SB promotes a lazy atomic back to eager
+   (atomic locality, Sec. IV-E).
+3. *Execution*: external requests and the data response feed the detector.
+4. *Unlock*: the predictor trains on the entry's contended bit, and the
+   prediction-vs-detection outcome is recorded (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.params import RowParams
+from repro.common.stats import StatGroup
+from repro.row.detection import ContentionDetector
+from repro.row.predictor import ContentionPredictor
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.core.dyninstr import AQEntry
+
+
+class RowMechanism:
+    def __init__(self, params: RowParams, stats: StatGroup | None = None) -> None:
+        self.params = params
+        self.stats = stats if stats is not None else StatGroup("row")
+        self.predictor = ContentionPredictor(params, self.stats)
+        self.detector = ContentionDetector(params)
+
+    # ------------------------------------------------------------------
+
+    def decide_eager(self, pc: int) -> bool:
+        """Predictor check at allocation: True = execute eager."""
+        contended = self.predictor.predict(pc)
+        return not contended
+
+    def try_promote_for_forwarding(self, entry: "AQEntry", store_match: bool) -> bool:
+        """Sec. IV-E: a lazy atomic with a matching older regular store in
+        the SB turns eager to preserve atomic locality.  Returns True when
+        promoted."""
+        if not self.params.forward_to_atomics or not self.params.promote_on_forward:
+            return False
+        if not store_match:
+            return False
+        entry.only_calc_addr = False
+        self.stats.counter("promoted_to_eager").add()
+        return True
+
+    def train(self, entry: "AQEntry") -> None:
+        """Predictor update at cacheline unlock (Sec. IV-D)."""
+        self.predictor.update(entry.dyn.pc, entry.contended)
+        self.predictor.record_outcome(entry.dyn.predicted_contended, entry.contended)
+        if entry.contended:
+            self.stats.counter("atomics_detected_contended").add()
+        if entry.contended_truth:
+            self.stats.counter("atomics_truth_contended").add()
+        self.stats.counter("atomics_trained").add()

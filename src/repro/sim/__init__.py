@@ -1,0 +1,12 @@
+"""Simulation harness: event engine and the multicore simulator."""
+
+from repro.sim.engine import DeadlockError, EventEngine
+from repro.sim.multicore import MulticoreSimulator, RunResult, simulate
+
+__all__ = [
+    "DeadlockError",
+    "EventEngine",
+    "MulticoreSimulator",
+    "RunResult",
+    "simulate",
+]

@@ -1,0 +1,102 @@
+"""Discrete-event spine of the simulator.
+
+Cores are cycle-stepped; everything with non-unit latency (coherence
+messages, directory lookups, memory fetches, functional-unit completions)
+is an event on a single global heap.  The multicore harness uses the heap to
+fast-forward over globally idle stretches, which is what makes a pure-Python
+timing model usable at the paper's experiment scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.memory.interconnect import MeshNetwork
+from repro.memory.messages import Message
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no core can progress and no event is pending."""
+
+
+class EventEngine:
+    """Global clock + event heap + message fabric."""
+
+    def __init__(self, network: MeshNetwork) -> None:
+        self.network = network
+        self.now = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._tiebreak = itertools.count()
+        self._endpoints: dict[int, Callable[[Message], None]] = {}
+        self._dir_endpoints: dict[int, Callable[[Message], None]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_core_endpoint(
+        self, node: int, handler: Callable[[Message], None]
+    ) -> None:
+        self._endpoints[node] = handler
+
+    def register_dir_endpoint(
+        self, node: int, handler: Callable[[Message], None]
+    ) -> None:
+        self._dir_endpoints[node] = handler
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, cycle: int, action: Callable[[], None]) -> None:
+        if cycle < self.now:
+            raise ValueError(f"cannot schedule at {cycle}, now is {self.now}")
+        heapq.heappush(self._heap, (cycle, next(self._tiebreak), action))
+
+    def schedule_in(self, delay: int, action: Callable[[], None]) -> None:
+        self.schedule(self.now + max(0, delay), action)
+
+    def send(self, msg: Message, to_directory: bool) -> None:
+        """Route a message through the mesh and deliver it as an event."""
+        arrival = self.network.delivery_cycle(msg.src, msg.dst, self.now)
+        if to_directory:
+            handler = self._dir_endpoints[msg.dst]
+        else:
+            handler = self._endpoints[msg.dst]
+        # Deliver strictly in the future so a handler never runs mid-cycle
+        # for the component that sent it.
+        self.schedule(max(arrival, self.now + 1), lambda: handler(msg))
+
+    # ------------------------------------------------------------------
+    # Clock control
+    # ------------------------------------------------------------------
+
+    @property
+    def next_event_cycle(self) -> int | None:
+        return self._heap[0][0] if self._heap else None
+
+    def run_events(self) -> bool:
+        """Run every event due at the current cycle; True if any ran."""
+        ran = False
+        while self._heap and self._heap[0][0] <= self.now:
+            _, _, action = heapq.heappop(self._heap)
+            action()
+            ran = True
+        return ran
+
+    def advance(self, idle: bool) -> None:
+        """Move the clock forward one cycle, or jump to the next event.
+
+        ``idle`` means no core did (or can do) work this cycle: then nothing
+        changes until the next scheduled event, so the clock jumps straight
+        to it.  If idle with an empty heap the system is deadlocked.
+        """
+        if not idle:
+            self.now += 1
+            return
+        nxt = self.next_event_cycle
+        if nxt is None:
+            raise DeadlockError(f"no pending events at cycle {self.now}")
+        self.now = max(nxt, self.now + 1)

@@ -1,0 +1,207 @@
+"""Multicore simulator harness.
+
+Builds the full system — mesh network, directory/L3 banks, per-core private
+cache controllers and out-of-order cores — runs a :class:`Program` to
+completion, and returns a :class:`RunResult` with every statistic the
+paper's figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.params import SystemParams
+from repro.common.stats import AtomicLatencyBreakdown, StatGroup, merge_groups
+from repro.core.pipeline import Core
+from repro.isa.instructions import Program
+from repro.memory.controller import PrivateCacheController
+from repro.memory.directory import DirectoryBank
+from repro.memory.image import MemoryImage
+from repro.memory.interconnect import MeshNetwork
+from repro.sim.engine import DeadlockError, EventEngine
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    program_name: str
+    params: SystemParams
+    cycles: int
+    instructions: int
+    core_stats: list[StatGroup]
+    controller_stats: list[StatGroup]
+    directory_stats: StatGroup
+    network_stats: StatGroup
+    breakdown: AtomicLatencyBreakdown
+    memory_snapshot: dict[int, int] = field(default_factory=dict)
+    per_core_cycles: list[int] = field(default_factory=list)
+    load_values: list[dict[int, int]] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def merged_core_stats(self) -> StatGroup:
+        return merge_groups(self.core_stats, "cores")
+
+    def merged_controller_stats(self) -> StatGroup:
+        return merge_groups(self.controller_stats, "controllers")
+
+    # Derived metrics used by the analysis layer -----------------------
+
+    def atomics_committed(self) -> int:
+        return self.merged_core_stats().counter("atomics_committed").value
+
+    def atomics_per_10k(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1e4 * self.atomics_committed() / self.instructions
+
+    def contended_fraction(self) -> float:
+        atomics = self.atomics_committed()
+        if not atomics:
+            return 0.0
+        contended = self.merged_core_stats().counter("atomics_contended_truth").value
+        return contended / atomics
+
+    def avg_miss_latency(self) -> float:
+        return self.merged_controller_stats().accumulator("miss_latency").mean
+
+    def predictor_accuracy(self) -> float:
+        merged = self.merged_core_stats()
+        outcomes = merged.counter("outcomes").value
+        if not outcomes:
+            return 1.0
+        return merged.counter("correct").value / outcomes
+
+
+class MulticoreSimulator:
+    """One fully assembled CMP executing one program."""
+
+    def __init__(self, params: SystemParams, program: Program) -> None:
+        params.validate()
+        if program.num_threads > params.num_cores:
+            raise ValueError(
+                f"program has {program.num_threads} threads but the system "
+                f"has only {params.num_cores} cores"
+            )
+        program.validate()
+        self.params = params
+        self.program = program
+        self.network_stats = StatGroup("network")
+        self.network = MeshNetwork(params, self.network_stats)
+        self.engine = EventEngine(self.network)
+        self.image = MemoryImage(program.initial_memory)
+        self.directory_stats = StatGroup("directory")
+        self.banks = [
+            DirectoryBank(
+                node, params, self.engine, self.directory_stats, image=self.image
+            )
+            for node in range(params.num_cores)
+        ]
+        self.controllers: list[PrivateCacheController] = []
+        self.cores: list[Core] = []
+        for cid in range(params.num_cores):
+            controller = PrivateCacheController(cid, params, self.engine)
+            self.controllers.append(controller)
+            self.engine.register_core_endpoint(cid, controller.receive)
+            self.engine.register_dir_endpoint(cid, self.banks[cid].receive)
+        for cid, trace in enumerate(program.traces):
+            core = Core(cid, params, trace, self.engine, self.controllers[cid], self.image)
+            self.cores.append(core)
+        self._apply_warmup()
+
+    def _apply_warmup(self) -> None:
+        """Pre-install steady-state-hot regions declared by the workload.
+
+        Private regions warm as Exclusive in their owner's L2 (directory
+        records the owner); the shared read region warms as Shared in every
+        core that runs a thread.  Capacity-capped so warmup never evicts
+        itself.
+        """
+        spec = self.program.metadata.get("warmup")
+        if not spec:
+            return
+        l2_lines = self.params.l2.num_lines
+        for cid, base_line, count in spec.get("private", ()):
+            if cid >= len(self.cores):
+                continue
+            controller = self.controllers[cid]
+            for line in range(base_line, base_line + min(count, (3 * l2_lines) // 4)):
+                controller.state[line] = "E"
+                controller.l2.insert(line)
+                bank = self.banks[self.network.bank_of(line)]
+                entry = bank.entry(line)
+                entry.state = "M"
+                entry.owner = cid
+                bank.l3.insert(line)
+        shared = spec.get("shared")
+        if shared:
+            base_line, count = shared
+            active = list(range(len(self.cores)))
+            for line in range(base_line, base_line + min(count, l2_lines // 4)):
+                for cid in active:
+                    self.controllers[cid].state[line] = "S"
+                    self.controllers[cid].l2.insert(line)
+                bank = self.banks[self.network.bank_of(line)]
+                entry = bank.entry(line)
+                entry.state = "S"
+                entry.sharers = set(active)
+                bank.l3.insert(line)
+
+    def run(self, max_cycles: int = 50_000_000) -> RunResult:
+        """Simulate until every core finished its trace (and drained)."""
+        engine = self.engine
+        cores = self.cores
+        prune_at = 100_000
+        while True:
+            engine.run_events()
+            now = engine.now
+            any_work = False
+            all_done = True
+            for core in cores:
+                if core.step(now):
+                    any_work = True
+                if not core.done:
+                    all_done = False
+            if all_done:
+                break
+            if now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(program {self.program.name!r})"
+                )
+            if now > prune_at:
+                self.network.prune(now - 10_000)
+                prune_at = now + 100_000
+            try:
+                engine.advance(idle=not any_work)
+            except DeadlockError as exc:
+                raise DeadlockError(
+                    f"{exc} — program {self.program.name!r}, "
+                    f"cores done: {[c.done for c in cores]}"
+                ) from exc
+        breakdown = AtomicLatencyBreakdown()
+        for core in cores:
+            breakdown.merge(core.breakdown)
+        instructions = sum(len(t) for t in self.program.traces)
+        return RunResult(
+            program_name=self.program.name,
+            params=self.params,
+            cycles=engine.now,
+            instructions=instructions,
+            core_stats=[c.stats for c in cores],
+            controller_stats=[c.stats for c in self.controllers],
+            directory_stats=self.directory_stats,
+            network_stats=self.network_stats,
+            breakdown=breakdown,
+            memory_snapshot=self.image.snapshot(),
+            per_core_cycles=[c.finish_cycle or engine.now for c in cores],
+            load_values=[c.load_values for c in cores],
+        )
+
+
+def simulate(params: SystemParams, program: Program, max_cycles: int = 50_000_000) -> RunResult:
+    """Convenience one-shot: build the system and run the program."""
+    return MulticoreSimulator(params, program).run(max_cycles=max_cycles)

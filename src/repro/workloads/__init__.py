@@ -1,0 +1,36 @@
+"""Workload generation: benchmark profiles, synthetic traces, microbenchmarks."""
+
+from repro.workloads.inspect import (
+    TraceStats,
+    analyze_program,
+    analyze_trace,
+    shared_line_overlap,
+)
+from repro.workloads.microbench import VARIANTS, build_microbench, cycles_per_iteration
+from repro.workloads.profiles import (
+    ATOMIC_INTENSIVE,
+    FIGURE_ORDER,
+    NON_ATOMIC_INTENSIVE,
+    WORKLOADS,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.synthetic import TraceGenerator, build_program
+
+__all__ = [
+    "ATOMIC_INTENSIVE",
+    "FIGURE_ORDER",
+    "NON_ATOMIC_INTENSIVE",
+    "VARIANTS",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "TraceGenerator",
+    "TraceStats",
+    "analyze_program",
+    "analyze_trace",
+    "build_microbench",
+    "shared_line_overlap",
+    "build_program",
+    "cycles_per_iteration",
+    "get_profile",
+]

@@ -1,0 +1,119 @@
+"""Trace inspection: static statistics of generated workloads.
+
+Used for profile calibration (the measured intensity/locality of a trace
+must match its profile's targets) and exposed through the public API so
+downstream users can sanity-check custom profiles before burning simulation
+time on them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import InstrClass, Program, ThreadTrace
+from repro.workloads.synthetic import (
+    ATOMIC_REGION_BASE_LINE,
+    HOT_BASE_LINE,
+    PRIVATE_BASE_LINE,
+    SHARED_READ_BASE_LINE,
+)
+
+
+@dataclass
+class TraceStats:
+    """Static statistics of one thread trace."""
+
+    instructions: int = 0
+    by_class: dict[str, int] = field(default_factory=dict)
+    atomics_per_10k: float = 0.0
+    hot_atomic_fraction: float = 0.0
+    region_atomic_fraction: float = 0.0
+    locality_pairs: int = 0
+    mean_locality_gap: float = 0.0
+    distinct_lines: int = 0
+    mean_deps_per_instr: float = 0.0
+    max_dep_distance: int = 0
+
+
+def classify_line(line: int, num_hot_lines: int) -> str:
+    """Which address region a cacheline belongs to."""
+    if HOT_BASE_LINE <= line < HOT_BASE_LINE + max(1, num_hot_lines):
+        return "hot"
+    if SHARED_READ_BASE_LINE <= line < ATOMIC_REGION_BASE_LINE:
+        return "shared_read"
+    if ATOMIC_REGION_BASE_LINE <= line < PRIVATE_BASE_LINE:
+        return "atomic_region"
+    return "private"
+
+
+def analyze_trace(trace: ThreadTrace, num_hot_lines: int = 64) -> TraceStats:
+    stats = TraceStats(instructions=len(trace))
+    if not len(trace):
+        return stats
+    tally: TallyCounter = TallyCounter()
+    lines: set[int] = set()
+    atomics = 0
+    hot_atomics = 0
+    region_atomics = 0
+    dep_count = 0
+    max_dep_dist = 0
+    gaps: list[int] = []
+    last_store_by_addr: dict[int, int] = {}
+    for instr in trace.instructions:
+        tally[instr.cls.name] += 1
+        dep_count += len(instr.src_deps)
+        for dep in instr.src_deps:
+            max_dep_dist = max(max_dep_dist, instr.seq - dep)
+        if instr.is_memory:
+            lines.add(instr.line)
+        if instr.cls is InstrClass.STORE:
+            last_store_by_addr[instr.addr] = instr.seq
+        elif instr.cls is InstrClass.ATOMIC:
+            atomics += 1
+            region = classify_line(instr.line, num_hot_lines)
+            if region == "hot":
+                hot_atomics += 1
+            elif region == "atomic_region":
+                region_atomics += 1
+            store_seq = last_store_by_addr.get(instr.addr)
+            if store_seq is not None and instr.seq - store_seq <= 32:
+                gaps.append(instr.seq - store_seq)
+    stats.by_class = dict(tally)
+    stats.atomics_per_10k = 1e4 * atomics / len(trace)
+    stats.hot_atomic_fraction = hot_atomics / atomics if atomics else 0.0
+    stats.region_atomic_fraction = region_atomics / atomics if atomics else 0.0
+    stats.locality_pairs = len(gaps)
+    stats.mean_locality_gap = sum(gaps) / len(gaps) if gaps else 0.0
+    stats.distinct_lines = len(lines)
+    stats.mean_deps_per_instr = dep_count / len(trace)
+    stats.max_dep_distance = max_dep_dist
+    return stats
+
+
+def analyze_program(program: Program) -> dict[int, TraceStats]:
+    """Per-thread statistics of a whole program."""
+    profile = program.metadata.get("profile")
+    num_hot = getattr(profile, "num_hot_lines", 64)
+    return {
+        trace.thread_id: analyze_trace(trace, num_hot_lines=num_hot)
+        for trace in program.traces
+    }
+
+
+def shared_line_overlap(program: Program) -> set[int]:
+    """Cachelines touched by atomics of more than one thread."""
+    per_thread: list[set[int]] = []
+    for trace in program.traces:
+        per_thread.append(
+            {
+                i.line
+                for i in trace.instructions
+                if i.cls is InstrClass.ATOMIC
+            }
+        )
+    overlap: set[int] = set()
+    for i, lines_a in enumerate(per_thread):
+        for lines_b in per_thread[i + 1 :]:
+            overlap |= lines_a & lines_b
+    return overlap

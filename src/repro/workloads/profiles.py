@@ -1,0 +1,295 @@
+"""Per-benchmark workload profiles.
+
+The paper evaluates Splash-4, PARSEC 3.0 and six fine-grain
+synchronization-intensive workloads, reporting results for the subset with
+at least one atomic per 10 kilo-instructions (Sec. V).  Real binaries cannot
+run on a Python timing model, so each application is modeled as a
+:class:`WorkloadProfile` whose knobs reproduce the statistics the paper's
+analysis hinges on (Fig. 5: atomic intensity and contention ratio; Sec. III:
+atomic locality in cq/tatp/barnes, dependency structure in
+streamcluster/raytrace).  The profile values are calibration targets; the
+measured intensity/contention of the generated traces is itself checked by
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.isa.instructions import AtomicOp
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical shape of one application's instruction stream."""
+
+    name: str
+    description: str
+    # Atomic behaviour
+    atomics_per_10k: float  # target intensity (Fig. 5, blue bars)
+    hot_fraction: float  # fraction of atomics hitting the shared hot set
+    num_hot_lines: int  # size of the globally shared hot set
+    atomic_sites: int = 8  # static atomic PCs (predictor granularity)
+    atomic_op_weights: tuple[float, float, float] = (0.6, 0.3, 0.1)  # FAA/CAS/SWAP
+    store_before_atomic_prob: float = 0.0  # atomic locality (cq, tatp, barnes)
+    young_dep_on_atomic_prob: float = 0.1  # dependents right after the atomic
+    # Memory behaviour
+    atomic_region_lines: int = 0  # shared sparse region for non-hot atomics
+    #   (0 = non-hot atomics use the private working set).  Models apps like
+    #   canneal whose atomics touch a huge shared array with almost no
+    #   concurrent reuse: misses without contention.
+    working_set_lines: int = 2048  # private per-thread working set
+    shared_read_lines: int = 256  # read-mostly shared region
+    shared_read_frac: float = 0.1  # loads hitting the shared region
+    load_frac: float = 0.25
+    store_frac: float = 0.12
+    branch_frac: float = 0.12
+    # Dataflow
+    dep_density: float = 0.5  # chance an instruction consumes a recent producer
+    long_latency_frac: float = 0.1  # ALU ops with 3-cycle latency
+    branch_bias: float = 0.92  # per-site taken probability (predictability)
+    stride_frac: float = 0.3  # loads walking a stride (prefetcher food)
+    atomic_intensive: bool = True
+
+    def with_overrides(self, **kw) -> "WorkloadProfile":
+        return replace(self, **kw)
+
+
+def _p(name: str, description: str, **kw) -> WorkloadProfile:
+    return WorkloadProfile(name=name, description=description, **kw)
+
+
+# ---------------------------------------------------------------------------
+# Atomic-intensive applications (the 13 shown in the paper's per-app figures,
+# ordered roughly as Fig. 1: eager-favoring on the left, lazy-favoring right)
+# ---------------------------------------------------------------------------
+
+ATOMIC_INTENSIVE: dict[str, WorkloadProfile] = {
+    "canneal": _p(
+        "canneal",
+        "PARSEC simulated annealing: many atomics over a huge random-access"
+        " working set; essentially no sharing, strongly eager-friendly.",
+        atomics_per_10k=55,
+        hot_fraction=0.02,
+        num_hot_lines=32,
+        atomic_region_lines=65536,
+        working_set_lines=384,
+        shared_read_frac=0.05,
+        atomic_sites=12,
+    ),
+    "freqmine": _p(
+        "freqmine",
+        "PARSEC FP-growth mining: atomic counter updates over private data;"
+        " non-contended, eager-friendly.",
+        atomics_per_10k=32,
+        hot_fraction=0.04,
+        num_hot_lines=32,
+        atomic_region_lines=32768,
+        working_set_lines=512,
+        atomic_sites=10,
+    ),
+    "cq": _p(
+        "cq",
+        "Concurrent queue: contended atomics but strong atomic locality"
+        " (a store to the line right before the atomic).",
+        atomics_per_10k=45,
+        hot_fraction=0.8,
+        num_hot_lines=2,
+        store_before_atomic_prob=0.8,
+        working_set_lines=512,
+        atomic_sites=4,
+        atomic_op_weights=(0.3, 0.5, 0.2),
+    ),
+    "tatp": _p(
+        "tatp",
+        "TATP telecom benchmark: moderately contended with locality.",
+        atomics_per_10k=38,
+        hot_fraction=0.3,
+        num_hot_lines=16,
+        store_before_atomic_prob=0.5,
+        working_set_lines=640,
+        atomic_sites=12,
+    ),
+    "barnes": _p(
+        "barnes",
+        "Splash-4 Barnes-Hut: tree locks with some locality.",
+        atomics_per_10k=24,
+        hot_fraction=0.28,
+        num_hot_lines=12,
+        store_before_atomic_prob=0.4,
+        working_set_lines=640,
+        atomic_sites=10,
+    ),
+    "fmm": _p(
+        "fmm",
+        "Splash-4 fast multipole: low atomic intensity, light contention.",
+        atomics_per_10k=4,
+        hot_fraction=0.15,
+        num_hot_lines=8,
+        working_set_lines=640,
+        atomic_sites=6,
+    ),
+    "volrend": _p(
+        "volrend",
+        "Splash-4 volume rendering: low intensity, light contention.",
+        atomics_per_10k=8,
+        hot_fraction=0.12,
+        num_hot_lines=8,
+        working_set_lines=640,
+        atomic_sites=6,
+    ),
+    "radiosity": _p(
+        "radiosity",
+        "Splash-4 radiosity: task-queue atomics at low intensity.",
+        atomics_per_10k=6,
+        hot_fraction=0.18,
+        num_hot_lines=8,
+        working_set_lines=640,
+        atomic_sites=6,
+    ),
+    "streamcluster": _p(
+        "streamcluster",
+        "PARSEC clustering: barrier-style contended atomics whose younger"
+        " instructions depend on the atomic (little lazy overlap).",
+        atomics_per_10k=65,
+        hot_fraction=0.75,
+        num_hot_lines=2,
+        young_dep_on_atomic_prob=0.3,
+        working_set_lines=512,
+        atomic_sites=4,
+    ),
+    "raytrace": _p(
+        "raytrace",
+        "Splash-4 raytrace: contended ray-id counter; younger work depends"
+        " on the atomic result.",
+        atomics_per_10k=70,
+        hot_fraction=0.8,
+        num_hot_lines=2,
+        young_dep_on_atomic_prob=0.25,
+        working_set_lines=512,
+        atomic_sites=4,
+    ),
+    "tpcc": _p(
+        "tpcc",
+        "TPC-C style transactions: high intensity, highly contended"
+        " row/latch counters; strongly lazy-friendly.",
+        atomics_per_10k=75,
+        hot_fraction=0.75,
+        num_hot_lines=2,
+        young_dep_on_atomic_prob=0.08,
+        working_set_lines=640,
+        atomic_sites=16,
+    ),
+    "sps": _p(
+        "sps",
+        "Swap-based shared stack (fine-grain sync suite): very contended.",
+        atomics_per_10k=85,
+        hot_fraction=0.82,
+        num_hot_lines=2,
+        young_dep_on_atomic_prob=0.08,
+        working_set_lines=512,
+        atomic_sites=6,
+        atomic_op_weights=(0.2, 0.3, 0.5),
+    ),
+    "pc": _p(
+        "pc",
+        "Producer-consumer (fine-grain sync suite): the most contended"
+        " workload; nearly every atomic hits one of two hot lines.",
+        atomics_per_10k=90,
+        hot_fraction=0.85,
+        num_hot_lines=2,
+        young_dep_on_atomic_prob=0.08,
+        working_set_lines=512,
+        atomic_sites=4,
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# Non-atomic-intensive applications (< 1 atomic / 10k instructions); used for
+# the "considering all the applications" aggregate (Sec. VI: RoW +4.0%).
+# ---------------------------------------------------------------------------
+
+NON_ATOMIC_INTENSIVE: dict[str, WorkloadProfile] = {
+    "blackscholes": _p(
+        "blackscholes",
+        "PARSEC option pricing: embarrassingly parallel, almost no atomics.",
+        atomics_per_10k=0.3,
+        hot_fraction=0.3,
+        num_hot_lines=4,
+        working_set_lines=4096,
+        atomic_sites=2,
+        atomic_intensive=False,
+    ),
+    "swaptions": _p(
+        "swaptions",
+        "PARSEC swaption pricing: compute bound.",
+        atomics_per_10k=0.5,
+        hot_fraction=0.2,
+        num_hot_lines=4,
+        working_set_lines=2048,
+        atomic_sites=2,
+        atomic_intensive=False,
+    ),
+    "fluidanimate": _p(
+        "fluidanimate",
+        "PARSEC fluid simulation: fine-grain cell locks but low intensity.",
+        atomics_per_10k=0.9,
+        hot_fraction=0.5,
+        num_hot_lines=16,
+        working_set_lines=4096,
+        atomic_sites=4,
+        atomic_intensive=False,
+    ),
+    "water-ns": _p(
+        "water-ns",
+        "Splash-4 water: mostly barriers, few atomics.",
+        atomics_per_10k=0.6,
+        hot_fraction=0.3,
+        num_hot_lines=8,
+        working_set_lines=2048,
+        atomic_sites=2,
+        atomic_intensive=False,
+    ),
+    "lu": _p(
+        "lu",
+        "Splash-4 LU decomposition: dense compute, negligible atomics.",
+        atomics_per_10k=0.2,
+        hot_fraction=0.2,
+        num_hot_lines=4,
+        working_set_lines=4096,
+        atomic_sites=2,
+        atomic_intensive=False,
+    ),
+}
+
+WORKLOADS: dict[str, WorkloadProfile] = {**ATOMIC_INTENSIVE, **NON_ATOMIC_INTENSIVE}
+
+# The order used by the paper's per-application figures (Fig. 1 sorts from
+# best to worst eager-vs-lazy speedup).
+FIGURE_ORDER: tuple[str, ...] = (
+    "canneal",
+    "freqmine",
+    "cq",
+    "tatp",
+    "barnes",
+    "fmm",
+    "volrend",
+    "radiosity",
+    "streamcluster",
+    "raytrace",
+    "tpcc",
+    "sps",
+    "pc",
+)
+
+
+ATOMIC_OPS: tuple[AtomicOp, ...] = (AtomicOp.FAA, AtomicOp.CAS, AtomicOp.SWAP)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "pc"])
+        assert args.workload == "pc"
+        assert args.modes == ["eager", "lazy", "row"]
+        assert args.config == "small"
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nosuch"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig5", "--scale", "smoke"])
+        assert args.figure == "fig5"
+
+    def test_sweep_values_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "pc", "--values", "0.1,0.5", "--seeds", "1"]
+        )
+        assert args.values == "0.1,0.5"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out
+        assert "fig9" in out
+
+    def test_run_quick(self, capsys):
+        rc = main(
+            [
+                "run",
+                "fmm",
+                "--threads",
+                "2",
+                "--instructions",
+                "600",
+                "--config",
+                "quick",
+                "--modes",
+                "eager",
+                "lazy",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eager" in out and "lazy" in out
+
+    def test_microbench(self, capsys):
+        rc = main(["microbench", "--machine", "new", "--iterations", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lock+mfence" in out
+
+    def test_figure_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.txt"
+        rc = main(["figure", "table1", "--scale", "smoke", "--output", str(out_file)])
+        assert rc == 0
+        assert "cores" in out_file.read_text()
+
+    def test_trace_generate_inspect_run(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "generate",
+                    str(path),
+                    "--workload",
+                    "fmm",
+                    "--threads",
+                    "2",
+                    "--instructions",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        assert main(["trace", "inspect", str(path)]) == 0
+        assert "atomics/10k" in capsys.readouterr().out
+        assert (
+            main(["trace", "run", str(path), "--mode", "eager", "--config", "quick"])
+            == 0
+        )
+        assert "cycles" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "fmm",
+                "--values",
+                "0.0,0.5",
+                "--seeds",
+                "1",
+                "--threads",
+                "2",
+                "--instructions",
+                "500",
+                "--config",
+                "quick",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lazy/eager" in out

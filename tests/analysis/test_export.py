@@ -1,0 +1,71 @@
+"""JSON export/import tests."""
+
+import json
+
+from repro.analysis.export import (
+    export_figures,
+    export_metrics,
+    figure_from_dict,
+    figure_to_dict,
+    load_figures,
+)
+from repro.analysis.report import FigureData
+from repro.analysis.runner import SMOKE, RunMetrics
+
+
+def sample_figure():
+    fig = FigureData("Fig.T", "test", ["workload", "value"])
+    fig.add_row("pc", 0.5)
+    fig.notes.append("a note")
+    return fig
+
+
+def sample_metrics():
+    return RunMetrics(
+        workload="pc",
+        cycles=100,
+        instructions=50,
+        atomics=3,
+        atomics_per_10k=600.0,
+        contended_truth_frac=0.5,
+        contended_detected=2,
+        miss_latency=120.0,
+        breakdown={"dispatch_to_issue": 1.0},
+        accuracy=0.9,
+        older_unexecuted_mean=4.0,
+        younger_started_mean=8.0,
+        counters={"flushes": 1},
+    )
+
+
+class TestFigureRoundTrip:
+    def test_dict_round_trip(self):
+        fig = sample_figure()
+        clone = figure_from_dict(figure_to_dict(fig))
+        assert clone.figure_id == fig.figure_id
+        assert clone.rows == fig.rows
+        assert clone.notes == fig.notes
+
+    def test_file_round_trip(self, tmp_path):
+        path = export_figures([sample_figure()], tmp_path / "figs.json", SMOKE)
+        loaded = load_figures(path)
+        assert len(loaded) == 1
+        assert loaded[0].row_map()["pc"][1] == 0.5
+
+    def test_scale_recorded(self, tmp_path):
+        path = export_figures([sample_figure()], tmp_path / "figs.json", SMOKE)
+        payload = json.loads(path.read_text())
+        assert payload["scale"]["name"] == "smoke"
+        assert payload["scale"]["num_threads"] == SMOKE.num_threads
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_figures([sample_figure()], tmp_path / "a/b/figs.json")
+        assert path.exists()
+
+
+class TestMetricsExport:
+    def test_metrics_json(self, tmp_path):
+        path = export_metrics([sample_metrics()], tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        assert payload[0]["workload"] == "pc"
+        assert payload[0]["counters"]["flushes"] == 1

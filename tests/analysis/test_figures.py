@@ -1,0 +1,162 @@
+"""Figure-regeneration smoke tests (structure, not magnitudes).
+
+The magnitude/shape assertions live in the benchmark harness at quick/full
+scale; at smoke scale these tests verify each figure function produces
+well-formed data for every workload and configuration.
+"""
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    ATOMIC_WORKLOADS,
+    figure1,
+    figure2,
+    figure5,
+    figure9,
+    figure10,
+    figure12,
+    headline,
+    table1,
+)
+from repro.analysis.runner import SMOKE
+
+
+@pytest.fixture(scope="module", autouse=True)
+def shared_cache():
+    # One cache for the whole module: figure functions share baselines.
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+class TestFigureStructure:
+    def test_fig1_rows_per_workload(self):
+        fig = figure1(SMOKE)
+        assert fig.column("workload") == list(ATOMIC_WORKLOADS)
+        for ratio in fig.column("lazy/eager"):
+            assert ratio > 0
+
+    def test_fig2_full_matrix(self):
+        fig = figure2(SMOKE, iterations=80)
+        assert len(fig.rows) == 2 * 3 * 4  # machines x ops x variants
+        for cycles in fig.column("cycles_per_iter"):
+            assert cycles > 0
+
+    def test_fig5_percentages_in_range(self):
+        fig = figure5(SMOKE)
+        for pct in fig.column("contended_pct"):
+            assert 0 <= pct <= 100
+
+    def test_fig9_has_geomean_row(self):
+        fig = figure9(SMOKE, workloads=("fmm", "pc"))
+        assert fig.rows[-1][0] == "GEOMEAN"
+        assert len(fig.columns) == 3 + 6  # workload, eager, lazy + 6 variants
+
+    def test_fig10_threshold_columns(self):
+        fig = figure10(SMOKE, workloads=("pc",), thresholds=(0, 40, None))
+        assert fig.columns == ["workload", "thr_0", "thr_40", "thr_inf"]
+
+    def test_fig12_accuracy_in_unit_interval(self):
+        fig = figure12(SMOKE)
+        for row in fig.rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_table1_static(self):
+        fig = table1()
+        values = {r[0]: r[1] for r in fig.rows}
+        assert values["cores"] == 32
+        assert values["RoW storage"] == "64 bytes"
+
+    def test_headline_rows(self):
+        fig = headline(SMOKE)
+        assert any("vs eager" in str(r[0]) for r in fig.rows)
+        assert any("all apps" in str(r[0]) for r in fig.rows)
+
+    def test_registry_contains_every_figure(self):
+        assert set(ALL_FIGURES) == {
+            "fig1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table1",
+            "headline",
+        }
+
+
+class TestMoreFigureStructure:
+    def test_fig4_columns(self):
+        from repro.analysis.figures import figure4
+
+        fig = figure4(SMOKE)
+        assert len(fig.rows) == len(ATOMIC_WORKLOADS)
+        for row in fig.rows:
+            assert row[1] >= 0
+            assert row[2] >= 0
+
+    def test_fig6_two_rows_per_workload(self):
+        from repro.analysis.figures import figure6
+
+        fig = figure6(SMOKE)
+        assert len(fig.rows) == 2 * len(ATOMIC_WORKLOADS)
+        modes = {row[1] for row in fig.rows}
+        assert modes == {"eager", "lazy"}
+
+    def test_fig11_latencies_positive(self):
+        from repro.analysis.figures import figure11
+
+        fig = figure11(SMOKE)
+        for row in fig.rows:
+            for value in row[1:]:
+                assert value > 0
+
+    def test_fig13_has_forwarding_columns(self):
+        from repro.analysis.figures import figure13
+
+        fig = figure13(SMOKE)
+        assert "RW+Dir_U/D+fwd" in fig.columns
+        assert "RW+Dir_Sat+fwd" in fig.columns
+        assert fig.rows[-1][0] == "GEOMEAN"
+
+    def test_headline_percent_format(self):
+        from repro.analysis.figures import headline
+
+        fig = headline(SMOKE)
+        for row in fig.rows:
+            assert str(row[2]).endswith("%")
+
+
+class TestAblationStructure:
+    def test_all_ablations_registry(self):
+        from repro.analysis.ablations import ALL_ABLATIONS
+
+        assert set(ALL_ABLATIONS) == {
+            "predictor_entries",
+            "counter_width",
+            "predictor_policy",
+            "aq_depth",
+            "sb_depth",
+        }
+
+    def test_sb_depth_structure(self):
+        from repro.analysis.ablations import sb_depth_ablation
+
+        fig = sb_depth_ablation(SMOKE, depths=(8, 16), workloads=("fmm",))
+        assert fig.columns == ["workload", "sb_8", "sb_16"]
+        for value in fig.rows[0][1:]:
+            assert value > 0
+
+    def test_mixed_alias_profile_shape(self):
+        from repro.analysis.ablations import mixed_alias_profile
+
+        profile = mixed_alias_profile()
+        assert 0.2 < profile.hot_fraction < 0.7
+        assert profile.atomic_region_lines > 0

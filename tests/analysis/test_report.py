@@ -1,0 +1,63 @@
+"""FigureData / table rendering tests."""
+
+import pytest
+
+from repro.analysis.report import FigureData, render_table
+
+
+class TestFigureData:
+    def make(self):
+        fig = FigureData("Fig.X", "demo", ["workload", "value"])
+        fig.add_row("pc", 0.5)
+        fig.add_row("canneal", 1.5)
+        return fig
+
+    def test_add_row_checks_arity(self):
+        fig = self.make()
+        with pytest.raises(ValueError, match="columns"):
+            fig.add_row("only-one")
+
+    def test_column_extraction(self):
+        fig = self.make()
+        assert fig.column("workload") == ["pc", "canneal"]
+        assert fig.column("value") == [0.5, 1.5]
+
+    def test_row_map_default_first_column(self):
+        fig = self.make()
+        assert fig.row_map()["pc"] == ["pc", 0.5]
+
+    def test_row_map_named_key(self):
+        fig = self.make()
+        assert fig.row_map("value")[1.5][0] == "canneal"
+
+    def test_render_contains_data(self):
+        text = self.make().render()
+        assert "Fig.X" in text
+        assert "canneal" in text
+        assert "0.500" in text
+
+    def test_render_includes_notes(self):
+        fig = self.make()
+        fig.notes.append("hello note")
+        assert "hello note" in fig.render()
+
+
+class TestRenderTable:
+    def test_alignment_pads_columns(self):
+        text = render_table("t", ["a", "bbbb"], [["x", "y"]])
+        lines = text.splitlines()
+        header = lines[2]
+        row = lines[4]
+        assert header.index("|") == row.index("|")
+
+    def test_floats_formatted(self):
+        text = render_table("t", ["v"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_large_floats_single_decimal(self):
+        text = render_table("t", ["v"], [[12345.678]])
+        assert "12345.7" in text
+
+    def test_empty_rows_ok(self):
+        text = render_table("t", ["a"], [])
+        assert "t" in text

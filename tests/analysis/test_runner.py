@@ -1,0 +1,120 @@
+"""Experiment-runner tests: caching, scales, configs, normalization."""
+
+import pytest
+
+from repro.analysis import runner
+from repro.analysis.runner import (
+    FULL,
+    PAPER,
+    QUICK,
+    SMOKE,
+    ROW_VARIANTS,
+    RunMetrics,
+    base_params,
+    config,
+    default_scale,
+    normalized_time,
+    run_one,
+    run_seeds,
+    scale_by_name,
+)
+from repro.common.params import (
+    AtomicMode,
+    DetectionMode,
+    PredictorKind,
+    SystemParams,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+class TestScales:
+    def test_named_scales(self):
+        assert scale_by_name("smoke") is SMOKE
+        assert scale_by_name("quick") is QUICK
+        assert scale_by_name("full") is FULL
+        assert scale_by_name("paper") is PAPER
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert default_scale() is SMOKE
+        monkeypatch.delenv("REPRO_SCALE")
+        assert default_scale() is QUICK
+
+    def test_base_params_match_scale(self):
+        assert base_params(SMOKE).num_cores == 4
+        assert base_params(QUICK).num_cores == 8
+        assert base_params(PAPER).num_cores == 32
+
+
+class TestConfigBuilder:
+    def test_mode_only(self):
+        p = config(SystemParams.quick(), AtomicMode.LAZY)
+        assert p.atomic_mode is AtomicMode.LAZY
+
+    def test_row_knobs(self):
+        p = config(
+            SystemParams.quick(),
+            AtomicMode.ROW,
+            DetectionMode.EW,
+            PredictorKind.SATURATE,
+            forwarding=True,
+        )
+        assert p.row.detection is DetectionMode.EW
+        assert p.row.predictor is PredictorKind.SATURATE
+        assert p.row.forward_to_atomics
+
+    def test_threshold_override(self):
+        p = config(
+            SystemParams.quick(), AtomicMode.ROW, latency_threshold=None
+        )
+        assert p.row.latency_threshold is None
+
+    def test_threshold_default_preserved(self):
+        p = config(SystemParams.quick(), AtomicMode.ROW)
+        assert p.row.latency_threshold == SystemParams.quick().row.latency_threshold
+
+    def test_six_row_variants(self):
+        assert len(ROW_VARIANTS) == 6
+        names = [name for name, _, _ in ROW_VARIANTS]
+        assert "RW+Dir_U/D" in names
+        assert "RW+Dir_Sat" in names
+
+
+class TestRunAndCache:
+    def test_run_one_returns_metrics(self):
+        m = run_one("fmm", base_params(SMOKE), SMOKE, seed=0)
+        assert isinstance(m, RunMetrics)
+        assert m.cycles > 0
+        assert m.instructions == SMOKE.num_threads * SMOKE.instructions_per_thread
+
+    def test_cache_hit_returns_same_object(self):
+        params = base_params(SMOKE)
+        a = run_one("fmm", params, SMOKE, seed=0)
+        b = run_one("fmm", params, SMOKE, seed=0)
+        assert a is b
+
+    def test_different_params_not_cached_together(self):
+        a = run_one("fmm", config(base_params(SMOKE), AtomicMode.EAGER), SMOKE, 0)
+        b = run_one("fmm", config(base_params(SMOKE), AtomicMode.LAZY), SMOKE, 0)
+        assert a is not b
+
+    def test_run_seeds_length(self):
+        ms = run_seeds("fmm", base_params(SMOKE), SMOKE)
+        assert len(ms) == len(SMOKE.seeds)
+
+    def test_normalized_time_self_is_one(self):
+        params = base_params(SMOKE)
+        assert normalized_time("fmm", params, params, SMOKE) == pytest.approx(1.0)
+
+    def test_normalized_time_positive(self):
+        base = base_params(SMOKE)
+        value = normalized_time(
+            "fmm", config(base, AtomicMode.LAZY), config(base, AtomicMode.EAGER), SMOKE
+        )
+        assert value > 0

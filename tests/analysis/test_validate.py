@@ -1,0 +1,92 @@
+"""Shape-validator tests (driven by hand-built figure data)."""
+
+from repro.analysis.report import FigureData
+from repro.analysis.validate import (
+    VALIDATORS,
+    validate_fig1,
+    validate_fig2,
+    validate_figure,
+)
+from repro.workloads.profiles import FIGURE_ORDER
+
+
+def fig1_like(ratios: dict[str, float]) -> FigureData:
+    fig = FigureData("Fig.1", "t", ["workload", "lazy/eager"])
+    for wl in FIGURE_ORDER:
+        fig.add_row(wl, ratios.get(wl, 1.0))
+    return fig
+
+
+GOOD_FIG1 = {
+    "canneal": 1.5,
+    "freqmine": 1.3,
+    "tpcc": 0.8,
+    "sps": 0.7,
+    "pc": 0.45,
+}
+
+
+class TestFig1Validator:
+    def test_paper_shape_passes(self):
+        results = validate_fig1(fig1_like(GOOD_FIG1))
+        assert all(r.passed for r in results)
+
+    def test_flipped_canneal_fails(self):
+        bad = dict(GOOD_FIG1, canneal=0.9)
+        results = validate_fig1(fig1_like(bad))
+        failed = [r for r in results if not r.passed]
+        assert any("canneal" in r.name for r in failed)
+
+    def test_eager_favoring_pc_fails(self):
+        bad = dict(GOOD_FIG1, pc=1.2)
+        results = validate_fig1(fig1_like(bad))
+        assert any(not r.passed for r in results)
+
+    def test_result_rendering(self):
+        results = validate_fig1(fig1_like(GOOD_FIG1))
+        text = str(results[0])
+        assert "PASS" in text and "Fig.1" in text
+
+
+class TestFig2Validator:
+    def make(self, old_lock=2.0, new_mfence=4.0):
+        fig = FigureData(
+            "Fig.2", "t", ["machine", "op", "variant", "cycles_per_iter"]
+        )
+        base = 50.0
+        for op in ("faa", "cas", "swap"):
+            locked_cost = base * old_lock if op != "swap" else base * old_lock
+            plain_old = base if op != "swap" else base * old_lock
+            fig.add_row("old-x86", op, "plain", plain_old)
+            fig.add_row("old-x86", op, "plain+mfence", base * old_lock)
+            fig.add_row("old-x86", op, "lock", locked_cost)
+            fig.add_row("old-x86", op, "lock+mfence", base * old_lock)
+            plain_new = 25.0 if op != "swap" else 25.0
+            fig.add_row("new-x86", op, "plain", plain_new)
+            fig.add_row("new-x86", op, "plain+mfence", 25.0 * new_mfence)
+            fig.add_row("new-x86", op, "lock", plain_new)
+            fig.add_row("new-x86", op, "lock+mfence", 25.0 * new_mfence)
+        return fig
+
+    def test_paper_shape_passes(self):
+        assert all(r.passed for r in validate_fig2(self.make()))
+
+    def test_fenced_modern_machine_fails(self):
+        # If the "new" machine paid for the lock like the old one, the
+        # lock-free check must fail: rebuild with lock == 2x plain.
+        fig = self.make()
+        for row in fig.rows:
+            if row[0] == "new-x86" and row[2] == "lock":
+                row[3] = 50.0
+        results = validate_fig2(fig)
+        assert any(not r.passed for r in results)
+
+
+class TestRegistry:
+    def test_known_validators(self):
+        assert {"fig1", "fig2", "fig9", "fig10", "fig11", "fig13"} <= set(
+            VALIDATORS
+        )
+
+    def test_unknown_figure_returns_empty(self):
+        assert validate_figure("fig4", FigureData("x", "t", ["a"])) == []

@@ -1,0 +1,49 @@
+"""CLI validate command tests (stubbed figures: no simulation cost)."""
+
+import pytest
+
+from repro.analysis.report import FigureData
+from repro.cli import main
+from repro.workloads.profiles import FIGURE_ORDER
+
+
+def fake_fig1(good: bool) -> FigureData:
+    fig = FigureData("Fig.1", "stub", ["workload", "lazy/eager"])
+    ratios = {
+        "canneal": 1.5 if good else 0.9,
+        "freqmine": 1.3,
+        "tpcc": 0.8,
+        "sps": 0.7,
+        "pc": 0.5,
+    }
+    for wl in FIGURE_ORDER:
+        fig.add_row(wl, ratios.get(wl, 1.0))
+    return fig
+
+
+@pytest.fixture
+def stub_figures(monkeypatch):
+    def install(good: bool):
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli.ALL_FIGURES, "fig1", lambda scale: fake_fig1(good))
+
+    return install
+
+
+class TestValidateCommand:
+    def test_passing_checks_exit_zero(self, stub_figures, capsys):
+        stub_figures(good=True)
+        rc = main(["validate", "--scale", "smoke", "--figures", "fig1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all checks passed" in out
+        assert "[PASS]" in out
+
+    def test_failing_checks_exit_nonzero(self, stub_figures, capsys):
+        stub_figures(good=False)
+        rc = main(["validate", "--scale", "smoke", "--figures", "fig1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "[FAIL]" in out
+        assert "failing check" in out

@@ -1,0 +1,151 @@
+"""Tests for system configuration parameters (Table I and scaling)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import (
+    AtomicMode,
+    CacheParams,
+    DetectionMode,
+    PredictorKind,
+    RowParams,
+    SystemParams,
+)
+
+
+class TestCacheParams:
+    def test_line_count(self):
+        cache = CacheParams(48 * 1024, 12, 5)
+        assert cache.num_lines == 768
+
+    def test_set_count(self):
+        cache = CacheParams(48 * 1024, 12, 5)
+        assert cache.num_sets == 64
+
+    def test_degenerate_geometry_never_zero_sets(self):
+        cache = CacheParams(64, 4, 1)
+        assert cache.num_sets == 1
+
+
+class TestPaperConfig:
+    """The paper() factory must match Table I exactly."""
+
+    def test_core_counts(self):
+        p = SystemParams.paper()
+        assert p.num_cores == 32
+
+    def test_widths(self):
+        p = SystemParams.paper()
+        assert (p.fetch_width, p.issue_width, p.commit_width) == (6, 12, 12)
+
+    def test_window_sizes(self):
+        p = SystemParams.paper()
+        assert (p.rob_entries, p.lq_entries, p.sb_entries) == (512, 192, 128)
+
+    def test_aq_entries(self):
+        assert SystemParams.paper().aq_entries == 16
+
+    def test_l1d_geometry(self):
+        l1d = SystemParams.paper().l1d
+        assert (l1d.size_bytes, l1d.ways, l1d.hit_cycles) == (48 * 1024, 12, 5)
+
+    def test_l2_geometry(self):
+        l2 = SystemParams.paper().l2
+        assert (l2.size_bytes, l2.ways, l2.hit_cycles) == (1024 * 1024, 8, 12)
+
+    def test_l3_geometry(self):
+        l3 = SystemParams.paper().l3_bank
+        assert (l3.size_bytes, l3.ways, l3.hit_cycles) == (4 * 1024 * 1024, 16, 35)
+
+    def test_memory_latency(self):
+        assert SystemParams.paper().memory_cycles == 160
+
+    def test_row_defaults_match_sec4(self):
+        row = SystemParams.paper().row
+        assert row.predictor_entries == 64
+        assert row.counter_bits == 4
+        assert row.latency_threshold == 400
+        assert row.timestamp_bits == 14
+
+    def test_paper_overrides(self):
+        p = SystemParams.paper(num_cores=8)
+        assert p.num_cores == 8
+        assert p.rob_entries == 512
+
+
+class TestScaledConfigs:
+    def test_small_preserves_structure_ordering(self):
+        p = SystemParams.small()
+        assert p.rob_entries > p.lq_entries > p.sb_entries > p.aq_entries
+
+    def test_quick_preserves_structure_ordering(self):
+        p = SystemParams.quick()
+        assert p.rob_entries > p.lq_entries > p.sb_entries >= p.aq_entries
+
+    def test_small_validates(self):
+        SystemParams.small().validate()
+
+    def test_quick_validates(self):
+        SystemParams.quick().validate()
+
+    def test_paper_validates(self):
+        SystemParams.paper().validate()
+
+    def test_scaled_dir_threshold(self):
+        # The scaled analog of the paper's 400-cycle threshold (see DESIGN.md).
+        assert SystemParams.small().row.latency_threshold == 40
+
+    def test_with_atomic_mode_changes_only_mode(self):
+        base = SystemParams.small()
+        row = base.with_atomic_mode(AtomicMode.ROW)
+        assert row.atomic_mode is AtomicMode.ROW
+        assert row.rob_entries == base.rob_entries
+        assert row.row == base.row
+
+    def test_with_atomic_mode_row_overrides(self):
+        p = SystemParams.small().with_atomic_mode(
+            AtomicMode.ROW,
+            detection=DetectionMode.EW,
+            predictor=PredictorKind.SATURATE,
+        )
+        assert p.row.detection is DetectionMode.EW
+        assert p.row.predictor is PredictorKind.SATURATE
+        # Untouched fields keep the base values.
+        assert p.row.latency_threshold == 40
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            SystemParams.small(num_cores=0).validate()
+
+    def test_rejects_tiny_sb(self):
+        with pytest.raises(ValueError, match="sb_entries"):
+            SystemParams.small(sb_entries=1).validate()
+
+    def test_rejects_non_pow2_predictor(self):
+        p = SystemParams.small(row=RowParams(predictor_entries=48))
+        with pytest.raises(ValueError, match="power of two"):
+            p.validate()
+
+    def test_rejects_zero_counter_bits(self):
+        p = SystemParams.small(row=RowParams(counter_bits=0))
+        with pytest.raises(ValueError, match="counter_bits"):
+            p.validate()
+
+
+class TestRowParams:
+    def test_counter_max(self):
+        assert RowParams(counter_bits=4).counter_max == 15
+
+    def test_counter_max_other_widths(self):
+        assert RowParams(counter_bits=2).counter_max == 3
+        assert RowParams(counter_bits=6).counter_max == 63
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RowParams().counter_bits = 8  # type: ignore[misc]
+
+    def test_none_threshold_means_infinite(self):
+        assert RowParams(latency_threshold=None).latency_threshold is None

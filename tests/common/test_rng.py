@@ -1,0 +1,36 @@
+"""Tests for deterministic RNG derivation."""
+
+from repro.common.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_scope_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_master_seed_separates_streams(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_no_concatenation_collision(self):
+        assert derive_seed(0, "a", 1) != derive_seed(0, "a1")
+
+    def test_positive_63_bit(self):
+        for seed in range(20):
+            value = derive_seed(seed, "x")
+            assert 0 <= value < 1 << 63
+
+
+class TestMakeRng:
+    def test_same_scope_same_stream(self):
+        a = make_rng(7, "trace", 0)
+        b = make_rng(7, "trace", 0)
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_thread_different_stream(self):
+        a = make_rng(7, "trace", 0)
+        b = make_rng(7, "trace", 1)
+        draws_a = [int(a.integers(0, 1000)) for _ in range(8)]
+        draws_b = [int(b.integers(0, 1000)) for _ in range(8)]
+        assert draws_a != draws_b

@@ -1,0 +1,196 @@
+"""Tests for counters, accumulators, histograms and latency breakdowns."""
+
+import pytest
+
+from repro.common.stats import (
+    Accumulator,
+    AtomicLatencyBreakdown,
+    Counter,
+    Histogram,
+    StatGroup,
+    geomean,
+    merge_groups,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_amount(self):
+        c = Counter("c")
+        c.add(5)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("c", 3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestAccumulator:
+    def test_mean_empty_is_zero(self):
+        assert Accumulator("a").mean == 0.0
+
+    def test_mean(self):
+        a = Accumulator("a")
+        for v in (1, 2, 3):
+            a.add(v)
+        assert a.mean == pytest.approx(2.0)
+
+    def test_min_max(self):
+        a = Accumulator("a")
+        for v in (5, -1, 3):
+            a.add(v)
+        assert a.min == -1
+        assert a.max == 5
+
+    def test_merge(self):
+        a, b = Accumulator("a"), Accumulator("b")
+        a.add(2)
+        b.add(4)
+        b.add(6)
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == pytest.approx(4.0)
+
+
+class TestHistogram:
+    def test_mean(self):
+        h = Histogram("h")
+        h.add(10, weight=2)
+        h.add(40)
+        assert h.mean == pytest.approx(20.0)
+
+    def test_count(self):
+        h = Histogram("h")
+        h.add(1)
+        h.add(1)
+        h.add(2)
+        assert h.count == 3
+
+    def test_percentile_median(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 4, 5):
+            h.add(v)
+        assert h.percentile(0.5) == 3
+
+    def test_percentile_extremes(self):
+        h = Histogram("h")
+        for v in (10, 20, 30):
+            h.add(v)
+        assert h.percentile(0.0) == 10
+        assert h.percentile(1.0) == 30
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+    def test_percentile_empty(self):
+        assert Histogram("h").percentile(0.5) == 0
+
+    def test_merge(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.add(1)
+        b.add(1)
+        b.add(2)
+        a.merge(b)
+        assert a.buckets == {1: 2, 2: 1}
+
+    def test_items_sorted(self):
+        h = Histogram("h")
+        h.add(3)
+        h.add(1)
+        h.add(2)
+        assert [v for v, _ in h.items()] == [1, 2, 3]
+
+
+class TestStatGroup:
+    def test_lazy_creation_returns_same_object(self):
+        g = StatGroup("g")
+        assert g.counter("x") is g.counter("x")
+
+    def test_counters_snapshot(self):
+        g = StatGroup("g")
+        g.counter("a").add(3)
+        assert g.counters() == {"a": 3}
+
+    def test_merge_counters(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.counter("x").add(1)
+        b.counter("x").add(2)
+        b.counter("y").add(5)
+        a.merge(b)
+        assert a.counter("x").value == 3
+        assert a.counter("y").value == 5
+
+    def test_merge_accumulators(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.accumulator("lat").add(10)
+        b.accumulator("lat").add(30)
+        a.merge(b)
+        assert a.accumulator("lat").mean == pytest.approx(20.0)
+
+    def test_merge_groups_helper(self):
+        groups = []
+        for i in range(3):
+            g = StatGroup(f"g{i}")
+            g.counter("n").add(i)
+            groups.append(g)
+        merged = merge_groups(groups)
+        assert merged.counter("n").value == 3
+
+    def test_snapshot_contains_derived_fields(self):
+        g = StatGroup("g")
+        g.accumulator("lat").add(4)
+        g.histogram("h").add(7)
+        snap = g.snapshot()
+        assert snap["lat.mean"] == pytest.approx(4.0)
+        assert snap["h.count"] == 1
+
+
+class TestAtomicLatencyBreakdown:
+    def test_record_splits_phases(self):
+        b = AtomicLatencyBreakdown()
+        b.record(dispatch=0, issue=10, lock=25, unlock=100)
+        assert b.dispatch_to_issue.mean == pytest.approx(10)
+        assert b.issue_to_lock.mean == pytest.approx(15)
+        assert b.lock_to_unlock.mean == pytest.approx(75)
+
+    def test_merge(self):
+        a, b = AtomicLatencyBreakdown(), AtomicLatencyBreakdown()
+        a.record(0, 1, 2, 3)
+        b.record(0, 3, 6, 9)
+        a.merge(b)
+        assert a.dispatch_to_issue.count == 2
+        assert a.dispatch_to_issue.mean == pytest.approx(2.0)
+
+    def test_means_dict(self):
+        b = AtomicLatencyBreakdown()
+        b.record(0, 2, 4, 6)
+        assert b.means() == {
+            "dispatch_to_issue": 2.0,
+            "issue_to_lock": 2.0,
+            "lock_to_unlock": 2.0,
+        }
+
+
+class TestGeomean:
+    def test_single(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

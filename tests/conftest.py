@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+
+
+@pytest.fixture
+def quick_params() -> SystemParams:
+    return SystemParams.quick()
+
+
+@pytest.fixture
+def small_params() -> SystemParams:
+    return SystemParams.small()
+
+
+@pytest.fixture(params=list(AtomicMode), ids=[m.value for m in AtomicMode])
+def any_mode(request) -> AtomicMode:
+    return request.param

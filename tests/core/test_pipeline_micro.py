@@ -1,0 +1,136 @@
+"""Single-core microarchitecture tests: width limits, stalls, timing."""
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import (
+    AtomicOp,
+    Program,
+    ThreadTrace,
+    alu,
+    atomic,
+    load,
+    store,
+)
+from repro.sim.multicore import MulticoreSimulator, simulate
+
+
+def run(instrs, **overrides):
+    params = SystemParams.quick(num_cores=1, **overrides)
+    prog = Program("micro", [ThreadTrace(0, instrs)])
+    return simulate(params, prog)
+
+
+class TestWidthLimits:
+    def test_issue_width_bounds_ilp(self):
+        # 120 independent single-cycle ALU ops.
+        instrs = [alu(i, pc=4 * (i % 13)) for i in range(120)]
+        wide = run(list(instrs), issue_width=8, fetch_width=8, commit_width=8)
+        narrow = run(list(instrs), issue_width=1, fetch_width=8, commit_width=8)
+        assert narrow.cycles > 2 * wide.cycles
+        # A 1-wide machine needs at least one cycle per instruction.
+        assert narrow.cycles >= 120
+
+    def test_fetch_width_bounds_frontend(self):
+        instrs = [alu(i, pc=4 * (i % 7)) for i in range(100)]
+        fast = run(list(instrs), fetch_width=8)
+        slow = run(list(instrs), fetch_width=1)
+        assert slow.cycles > fast.cycles
+        assert slow.cycles >= 100
+
+    def test_commit_width_bounds_retirement(self):
+        instrs = [alu(i, pc=4) for i in range(100)]
+        fast = run(list(instrs), commit_width=8)
+        slow = run(list(instrs), commit_width=1)
+        assert slow.cycles >= 100
+        assert slow.cycles > fast.cycles
+
+
+class TestLatencies:
+    def test_l1_hit_latency_visible(self):
+        # Warm the line with a first access, then measure a dependent chain
+        # of hits: each link costs at least the L1 hit latency.
+        chain = [load(0, pc=8, addr=640)]
+        for i in range(1, 20):
+            chain.append(load(i, pc=8, addr=640, deps=(i - 1,)))
+        res = run(chain)
+        params = SystemParams.quick(num_cores=1)
+        assert res.cycles >= 19 * params.l1d.hit_cycles
+
+    def test_memory_latency_visible(self):
+        res = run([load(0, pc=8, addr=64 * (1 << 18))])
+        params = SystemParams.quick(num_cores=1)
+        assert res.cycles >= params.memory_cycles
+
+    def test_alu_latency_chain(self):
+        chain = [alu(0, pc=4, latency=3)]
+        for i in range(1, 30):
+            chain.append(alu(i, pc=4, deps=(i - 1,), latency=3))
+        res = run(chain)
+        assert res.cycles >= 90
+
+
+class TestAtomicTimestamps:
+    def _single_atomic_core(self, mode):
+        params = SystemParams.quick(num_cores=1, atomic_mode=mode)
+        instrs = [alu(i, pc=4, deps=(i - 1,) if i else (), latency=3) for i in range(10)]
+        instrs.append(
+            atomic(10, pc=0x40, addr=640, op=AtomicOp.FAA, deps=(0,))
+        )
+        prog = Program("one-atomic", [ThreadTrace(0, instrs)])
+        sim = MulticoreSimulator(params, prog)
+        sim.run()
+        return sim.cores[0]
+
+    @pytest.mark.parametrize("mode", [AtomicMode.EAGER, AtomicMode.LAZY])
+    def test_timestamps_monotone(self, mode):
+        core = self._single_atomic_core(mode)
+        b = core.breakdown
+        assert b.dispatch_to_issue.count == 1
+        assert b.dispatch_to_issue.min >= 0
+        assert b.issue_to_lock.min >= 0
+        assert b.lock_to_unlock.min >= 0
+
+    def test_eager_issues_before_lazy_would(self):
+        eager = self._single_atomic_core(AtomicMode.EAGER)
+        lazy = self._single_atomic_core(AtomicMode.LAZY)
+        # The eager atomic issues while the older ALU chain still runs; the
+        # lazy one waits for it (d2i strictly larger).
+        assert (
+            lazy.breakdown.dispatch_to_issue.mean
+            > eager.breakdown.dispatch_to_issue.mean
+        )
+
+
+class TestStoreBufferTiming:
+    def test_store_drains_after_commit_only(self):
+        params = SystemParams.quick(num_cores=1)
+        instrs = [
+            alu(0, pc=4, latency=3),
+            store(1, pc=8, addr=640, value=5, deps=(0,)),
+        ]
+        prog = Program("st", [ThreadTrace(0, instrs)])
+        sim = MulticoreSimulator(params, prog)
+        res = sim.run()
+        assert res.memory_snapshot.get(640) == 5
+        assert sim.cores[0].stats.counter("stores_drained").value == 1
+
+    def test_sb_depth_never_helps_pure_store_streams(self):
+        """The SB drains from its head only (one write port, no ownership
+        prefetch for queued stores), so a pure store stream is drain-bound
+        regardless of depth — a tight SB can only be equal or worse."""
+        stores = [store(i, pc=8, addr=640 + 64 * i, value=i) for i in range(40)]
+        tight = run(list(stores), sb_entries=2)
+        roomy = run(list(stores), sb_entries=16)
+        assert tight.cycles >= roomy.cycles
+        assert tight.memory_snapshot == roomy.memory_snapshot
+
+    def test_tight_sb_stalls_atomic_dispatch(self):
+        """An atomic needs an SB slot at dispatch; a clogged SB delays it."""
+        instrs = [store(i, pc=8, addr=64 * 64 * (i + 100), value=i) for i in range(6)]
+        instrs.append(
+            atomic(6, pc=0x40, addr=640, op=AtomicOp.FAA)
+        )
+        tight = run(list(instrs), sb_entries=2)
+        roomy = run(list(instrs), sb_entries=16)
+        assert tight.cycles >= roomy.cycles

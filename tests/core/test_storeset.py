@@ -1,0 +1,99 @@
+"""StoreSet memory-dependence predictor tests."""
+
+import pytest
+
+from repro.core.dyninstr import DynInstr
+from repro.core.storeset import StoreSetPredictor
+from repro.isa.instructions import store
+
+
+def make_store(seq=0, pc=0x100, uid=0):
+    dyn = DynInstr(store(seq, pc, addr=64), uid=uid, fetch_cycle=0)
+    return dyn
+
+
+class TestTraining:
+    def test_untrained_predicts_no_dependence(self):
+        ss = StoreSetPredictor()
+        assert ss.load_dependence(0x200) is None
+
+    def test_violation_creates_shared_set(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(load_pc=0x200, store_pc=0x100)
+        assert ss.set_id_of(0x200) == ss.set_id_of(0x100)
+        assert ss.set_id_of(0x200) != ss.INVALID
+
+    def test_merge_into_existing_load_set(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        ss.train_violation(0x200, 0x104)
+        assert ss.set_id_of(0x104) == ss.set_id_of(0x200)
+
+    def test_merge_two_existing_sets(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        ss.train_violation(0x204, 0x104)
+        ss.train_violation(0x200, 0x104)
+        assert ss.set_id_of(0x200) == ss.set_id_of(0x104)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            StoreSetPredictor(ssit_entries=100)
+
+
+class TestPipelineFlow:
+    def test_dispatched_store_blocks_trained_load(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        st = make_store(pc=0x100)
+        ss.store_dispatched(st)
+        assert ss.load_dependence(0x200) is st
+
+    def test_resolved_store_unblocks(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        st = make_store(pc=0x100)
+        ss.store_dispatched(st)
+        ss.store_resolved(st)
+        assert ss.load_dependence(0x200) is None
+
+    def test_squashed_store_unblocks(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        st = make_store(pc=0x100)
+        ss.store_dispatched(st)
+        ss.store_squashed(st)
+        assert ss.load_dependence(0x200) is None
+
+    def test_squashed_flag_ignored_even_if_stale(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        st = make_store(pc=0x100)
+        ss.store_dispatched(st)
+        st.squashed = True  # squash without the bookkeeping call
+        assert ss.load_dependence(0x200) is None
+
+    def test_younger_store_replaces_lfst(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        older = make_store(seq=0, pc=0x100, uid=0)
+        younger = make_store(seq=5, pc=0x100, uid=1)
+        ss.store_dispatched(older)
+        ss.store_dispatched(younger)
+        assert ss.load_dependence(0x200) is younger
+
+    def test_resolve_of_older_keeps_younger(self):
+        ss = StoreSetPredictor()
+        ss.train_violation(0x200, 0x100)
+        older = make_store(seq=0, pc=0x100, uid=0)
+        younger = make_store(seq=5, pc=0x100, uid=1)
+        ss.store_dispatched(older)
+        ss.store_dispatched(younger)
+        ss.store_resolved(older)  # LFST holds younger; no effect
+        assert ss.load_dependence(0x200) is younger
+
+    def test_untrained_store_not_tracked(self):
+        ss = StoreSetPredictor()
+        st = make_store(pc=0x500)
+        ss.store_dispatched(st)
+        assert ss.load_dependence(0x500) is None

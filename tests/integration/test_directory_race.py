@@ -1,0 +1,82 @@
+"""The Fig. 8 race: why EW/RW detection alone is insufficient.
+
+Two cores' atomics race for one line.  The loser's request queues at the
+blocked directory entry; by the time the resulting invalidation reaches the
+winner, the winner's atomic (especially a lazy one) has already unlocked
+and left the AQ — so window-based detection sees nothing, while the
+latency-threshold (Dir) detector marks the *loser*, whose fill arrives late
+and from a remote private cache.
+"""
+
+from repro.common.params import AtomicMode, DetectionMode, PredictorKind, SystemParams
+from repro.sim.multicore import simulate
+from repro.workloads.litmus import atomic_counter
+from repro.workloads.synthetic import build_program
+
+
+def run_detection(mode, detection, prog=None, threshold=40):
+    params = SystemParams.quick().with_atomic_mode(
+        AtomicMode.ROW,
+        detection=detection,
+        predictor=PredictorKind.SATURATE,
+        latency_threshold=threshold,
+    )
+    if mode is not AtomicMode.ROW:
+        params = params.with_atomic_mode(mode)
+    prog = prog or atomic_counter(4, 60)
+    return simulate(params, prog)
+
+
+class TestFig8Race:
+    def test_dir_detects_more_than_ew_under_lazy_like_handoffs(self):
+        """With fast (lazy-style) handoffs, the EW window shrinks to a few
+        cycles and misses contention the Dir detector still catches."""
+        prog = atomic_counter(4, 60, pads=[0, 5, 9, 13])
+        ew = run_detection(AtomicMode.ROW, DetectionMode.EW, prog)
+        dirm = run_detection(AtomicMode.ROW, DetectionMode.RW_DIR, prog)
+        ew_detected = ew.merged_core_stats().counter(
+            "atomics_contended_detected"
+        ).value
+        dir_detected = dirm.merged_core_stats().counter(
+            "atomics_contended_detected"
+        ).value
+        assert dir_detected > ew_detected
+
+    def test_truth_contention_exists_in_racing_counter(self):
+        prog = atomic_counter(4, 60)
+        res = run_detection(AtomicMode.ROW, DetectionMode.RW_DIR, prog)
+        assert res.contended_fraction() > 0.2
+
+    def test_losers_fill_from_private_cache(self):
+        prog = atomic_counter(4, 40)
+        res = run_detection(AtomicMode.ROW, DetectionMode.RW_DIR, prog)
+        ctl = res.merged_controller_stats()
+        assert ctl.counter("fills_from_private").value > 0
+
+    def test_infinite_threshold_reverts_to_rw_detection(self):
+        prog = build_program("pc", 4, 2500, seed=0)
+        rw = run_detection(AtomicMode.ROW, DetectionMode.RW, prog)
+        dir_inf = run_detection(
+            AtomicMode.ROW, DetectionMode.RW_DIR, prog, threshold=None
+        )
+        rw_det = rw.merged_core_stats().counter("atomics_contended_detected").value
+        inf_det = dir_inf.merged_core_stats().counter(
+            "atomics_contended_detected"
+        ).value
+        assert abs(rw_det - inf_det) <= 0.25 * max(rw_det, inf_det, 4)
+
+
+class TestBlockedQueueTiming:
+    def test_racing_atomics_serialize_through_directory(self):
+        prog = atomic_counter(4, 40)
+        res = run_detection(AtomicMode.ROW, DetectionMode.RW_DIR, prog)
+        assert res.directory_stats.counter("requests_queued").value > 0
+
+    def test_stalled_externals_happen_in_eager_mode(self):
+        prog = atomic_counter(4, 60)
+        params = SystemParams.quick(atomic_mode=AtomicMode.EAGER)
+        res = simulate(params, prog)
+        # Locked lines stall forwarded requests at the owner.
+        assert (
+            res.merged_controller_stats().counter("externals_stalled").value > 0
+        )

@@ -1,0 +1,183 @@
+"""Behavioural integration tests of the execution policies.
+
+These check the paper's qualitative claims end to end on small
+configurations: eager wins on non-contended workloads, lazy wins under
+heavy contention, RoW tracks the winner, lock windows behave as in Fig. 6.
+"""
+
+import pytest
+
+from repro.common.params import (
+    AtomicMode,
+    DetectionMode,
+    PredictorKind,
+    SystemParams,
+)
+from repro.common.stats import geomean
+from repro.sim.multicore import simulate
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import build_program
+
+THREADS = 8
+INSTRS = 4000
+SEEDS = (0, 1)
+
+
+def ratio_lazy_over_eager(workload, seeds=SEEDS):
+    ratios = []
+    for seed in seeds:
+        prog = build_program(workload, THREADS, INSTRS, seed=seed)
+        e = simulate(SystemParams.small(atomic_mode=AtomicMode.EAGER), prog)
+        l = simulate(SystemParams.small(atomic_mode=AtomicMode.LAZY), prog)
+        ratios.append(l.cycles / e.cycles)
+    return geomean(ratios)
+
+
+class TestEagerVsLazy:
+    def test_canneal_strongly_eager_favoring(self):
+        assert ratio_lazy_over_eager("canneal") > 1.3
+
+    def test_freqmine_eager_favoring(self):
+        assert ratio_lazy_over_eager("freqmine") > 1.1
+
+    def test_pc_strongly_lazy_favoring(self):
+        assert ratio_lazy_over_eager("pc") < 0.75
+
+    def test_sps_lazy_favoring(self):
+        assert ratio_lazy_over_eager("sps") < 0.95
+
+    def test_middle_workloads_roughly_neutral(self):
+        for wl in ("fmm", "volrend", "radiosity"):
+            assert 0.9 < ratio_lazy_over_eager(wl, seeds=(0,)) < 1.15
+
+
+class TestLatencyBreakdown:
+    """Fig. 6 shape: lazy trades dispatch->issue wait for a tiny lock window."""
+
+    @pytest.fixture(scope="class")
+    def pc_runs(self):
+        prog = build_program("pc", THREADS, INSTRS, seed=1)
+        eager = simulate(SystemParams.small(atomic_mode=AtomicMode.EAGER), prog)
+        lazy = simulate(SystemParams.small(atomic_mode=AtomicMode.LAZY), prog)
+        return eager, lazy
+
+    def test_lazy_lock_window_minimal(self, pc_runs):
+        _, lazy = pc_runs
+        assert lazy.breakdown.lock_to_unlock.mean < 5
+
+    def test_eager_lock_window_large_under_contention(self, pc_runs):
+        eager, lazy = pc_runs
+        assert (
+            eager.breakdown.lock_to_unlock.mean
+            > 5 * lazy.breakdown.lock_to_unlock.mean
+        )
+
+    def test_lazy_dispatch_to_issue_dominates(self, pc_runs):
+        eager, lazy = pc_runs
+        assert (
+            lazy.breakdown.dispatch_to_issue.mean
+            > eager.breakdown.dispatch_to_issue.mean
+        )
+
+    def test_eager_issue_to_lock_explodes(self, pc_runs):
+        eager, lazy = pc_runs
+        assert (
+            eager.breakdown.issue_to_lock.mean
+            > 2 * lazy.breakdown.issue_to_lock.mean
+        )
+
+    def test_eager_miss_latency_higher_under_contention(self, pc_runs):
+        """Fig. 11: eager execution inflates everyone's miss latency."""
+        eager, lazy = pc_runs
+        assert eager.avg_miss_latency() > lazy.avg_miss_latency()
+
+
+class TestRowTracksWinner:
+    def row_params(self, predictor=PredictorKind.SATURATE, **kw):
+        return SystemParams.small().with_atomic_mode(
+            AtomicMode.ROW,
+            detection=DetectionMode.RW_DIR,
+            predictor=predictor,
+            **kw,
+        )
+
+    def test_row_matches_eager_on_canneal(self):
+        prog = build_program("canneal", THREADS, INSTRS, seed=0)
+        eager = simulate(SystemParams.small(atomic_mode=AtomicMode.EAGER), prog)
+        row = simulate(self.row_params(), prog)
+        assert row.cycles <= 1.05 * eager.cycles
+
+    def test_row_beats_eager_on_pc(self):
+        ratios = []
+        for seed in SEEDS:
+            prog = build_program("pc", THREADS, INSTRS, seed=seed)
+            eager = simulate(SystemParams.small(atomic_mode=AtomicMode.EAGER), prog)
+            row = simulate(self.row_params(), prog)
+            ratios.append(row.cycles / eager.cycles)
+        assert geomean(ratios) < 0.9
+
+    def test_row_executes_contended_atomics_lazy(self):
+        prog = build_program("pc", THREADS, INSTRS, seed=1)
+        row = simulate(self.row_params(), prog)
+        cs = row.merged_core_stats()
+        lazy_issued = cs.counter("atomics_issued_lazy").value
+        total = cs.counter("atomics_committed").value
+        assert lazy_issued > 0.5 * total
+
+    def test_row_executes_noncontended_atomics_eager(self):
+        prog = build_program("canneal", THREADS, INSTRS, seed=0)
+        row = simulate(self.row_params(), prog)
+        cs = row.merged_core_stats()
+        assert cs.counter("atomics_issued_lazy").value < 0.05 * max(
+            1, cs.counter("atomics_committed").value
+        )
+
+
+class TestForwardingPromotion:
+    def test_promotion_occurs_on_locality_workload(self):
+        params = SystemParams.small().with_atomic_mode(
+            AtomicMode.ROW,
+            detection=DetectionMode.RW_DIR,
+            predictor=PredictorKind.UPDOWN,
+            forward_to_atomics=True,
+        )
+        prog = build_program("cq", THREADS, INSTRS, seed=0)
+        res = simulate(params, prog)
+        cs = res.merged_core_stats()
+        assert cs.counter("atomics_forwarded").value > 0
+
+    def test_forwarding_helps_cq_vs_row_without(self):
+        base = SystemParams.small()
+        no_fwd = base.with_atomic_mode(
+            AtomicMode.ROW,
+            detection=DetectionMode.RW_DIR,
+            predictor=PredictorKind.UPDOWN,
+        )
+        fwd = base.with_atomic_mode(
+            AtomicMode.ROW,
+            detection=DetectionMode.RW_DIR,
+            predictor=PredictorKind.UPDOWN,
+            forward_to_atomics=True,
+        )
+        ratios = []
+        for seed in SEEDS:
+            prog = build_program("cq", THREADS, INSTRS, seed=seed)
+            a = simulate(fwd, prog)
+            b = simulate(no_fwd, prog)
+            ratios.append(a.cycles / b.cycles)
+        assert geomean(ratios) <= 1.02
+
+
+class TestFencedMode:
+    def test_fenced_slower_than_eager_on_memory_bound_work(self):
+        from repro.isa.instructions import AtomicOp
+        from repro.workloads.microbench import build_microbench
+
+        prog = build_microbench(AtomicOp.FAA, "lock", iterations=150)
+        eager = simulate(
+            SystemParams.quick(num_cores=1, atomic_mode=AtomicMode.EAGER), prog
+        )
+        fenced = simulate(
+            SystemParams.quick(num_cores=1, atomic_mode=AtomicMode.FENCED), prog
+        )
+        assert fenced.cycles > 1.5 * eager.cycles

@@ -1,0 +1,224 @@
+"""Pipeline-level integration tests: completion, stats, hazards, fences."""
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import (
+    AtomicOp,
+    Program,
+    ThreadTrace,
+    alu,
+    atomic,
+    branch,
+    load,
+    mfence,
+    store,
+)
+from repro.sim.multicore import simulate
+from repro.workloads.synthetic import build_program
+
+
+def run_trace(instrs, params=None, mem=None):
+    params = params or SystemParams.quick(num_cores=1)
+    prog = Program("t", [ThreadTrace(0, instrs)], initial_memory=mem or {})
+    return simulate(params, prog)
+
+
+class TestCompletion:
+    def test_all_instructions_commit_exactly_once(self):
+        prog = build_program("barnes", 4, 2000, seed=0)
+        res = simulate(SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog)
+        committed = res.merged_core_stats().counter("committed").value
+        assert committed == prog.total_instructions()
+
+    def test_commit_count_invariant_survives_flushes(self):
+        """Replays re-commit, but the *committed* total equals the trace."""
+        prog = build_program("pc", 4, 2000, seed=0)
+        params = SystemParams.quick(
+            atomic_mode=AtomicMode.EAGER, lock_revocation_timeout=80
+        )
+        res = simulate(params, prog)
+        cs = res.merged_core_stats()
+        assert cs.counter("committed").value == prog.total_instructions()
+        assert cs.counter("flushes").value > 0  # pressure actually applied
+
+    def test_empty_trace_finishes(self):
+        res = run_trace([])
+        assert res.cycles >= 0
+
+    def test_single_alu(self):
+        res = run_trace([alu(0, pc=0)])
+        assert res.merged_core_stats().counter("committed").value == 1
+
+
+class TestDataflow:
+    def test_dependent_chain_serializes(self):
+        chain = [alu(i, pc=i * 4, deps=(i - 1,) if i else ()) for i in range(50)]
+        serial = run_trace(chain)
+        parallel = run_trace([alu(i, pc=i * 4) for i in range(50)])
+        assert serial.cycles > 1.5 * parallel.cycles
+
+    def test_load_value_flows_to_memory(self):
+        mem = {640: 42}
+        instrs = [load(0, pc=0, addr=640)]
+        res = run_trace(instrs, mem=mem)
+        assert res.load_values[0][0] == 42
+
+    def test_store_then_load_forwarding_value(self):
+        instrs = [
+            store(0, pc=0, addr=640, value=9),
+            load(1, pc=4, addr=640),
+        ]
+        res = run_trace(instrs)
+        assert res.load_values[0][1] == 9
+        assert res.merged_core_stats().counter("loads_forwarded").value == 1
+
+    def test_atomic_result_feeds_dependent(self):
+        instrs = [
+            atomic(0, pc=0, addr=640, op=AtomicOp.FAA, operand=5),
+            alu(1, pc=4, deps=(0,)),
+            load(2, pc=8, addr=640),
+        ]
+        res = run_trace(instrs, mem={640: 100})
+        assert res.load_values[0][0] == 100  # FAA returns old value
+        assert res.load_values[0][2] == 105
+
+
+class TestMemoryOrderViolation:
+    def test_violation_detected_and_squashed(self):
+        """A load issuing before an older same-address store with a slow
+        address dependency must replay with the right value."""
+        instrs = [alu(0, pc=0, latency=3)]
+        for i in range(1, 9):  # slow dependency chain feeding the store
+            instrs.append(alu(i, pc=4 * i, deps=(i - 1,), latency=3))
+        instrs.append(store(9, pc=0x100, addr=640, value=77, deps=(8,)))
+        instrs.append(load(10, pc=0x104, addr=640))
+        res = run_trace(instrs)
+        assert res.load_values[0][10] == 77
+        assert res.merged_core_stats().counter("order_violations").value >= 1
+
+    def test_storeset_learns_to_avoid_second_violation(self):
+        instrs = []
+        for rep in range(4):
+            base = len(instrs)
+            instrs.append(alu(base, pc=0, latency=3))
+            for i in range(1, 7):
+                instrs.append(
+                    alu(base + i, pc=4 * i, deps=(base + i - 1,), latency=3)
+                )
+            instrs.append(
+                store(base + 7, pc=0x100, addr=640, value=rep, deps=(base + 6,))
+            )
+            instrs.append(load(base + 8, pc=0x104, addr=640))
+        res = run_trace(instrs)
+        violations = res.merged_core_stats().counter("order_violations").value
+        assert violations < 4  # the storeset predictor kicked in
+        assert res.load_values[0][len(instrs) - 1] == 3
+
+
+class TestFences:
+    def test_mfence_orders_memory(self):
+        instrs = [
+            store(0, pc=0, addr=640, value=1),
+            mfence(1, pc=4),
+            load(2, pc=8, addr=704),
+        ]
+        res = run_trace(instrs)
+        assert res.merged_core_stats().counter("committed").value == 3
+
+    def test_mfence_serializes_misses(self):
+        def body(with_fence):
+            instrs = []
+            for i in range(20):
+                seq = len(instrs)
+                instrs.append(load(seq, pc=8, addr=64 * 64 * (i + 10)))
+                if with_fence:
+                    instrs.append(mfence(len(instrs), pc=12))
+            return instrs
+
+        fenced = run_trace(body(True))
+        unfenced = run_trace(body(False))
+        assert fenced.cycles > 2 * unfenced.cycles
+
+
+class TestBranches:
+    def test_biased_branches_learned(self):
+        instrs = []
+        for i in range(300):
+            instrs.append(branch(len(instrs), pc=0x40, taken=True))
+            instrs.append(alu(len(instrs), pc=0x44))
+        res = run_trace(instrs)
+        cs = res.merged_core_stats()
+        mispredicts = cs.counter("branch_mispredicts").value
+        assert mispredicts < 10
+
+    def test_mispredicts_cost_cycles(self):
+        import itertools
+
+        def body(pattern):
+            instrs = []
+            for i, taken in zip(range(200), itertools.cycle(pattern)):
+                instrs.append(branch(len(instrs), pc=0x40 + (i % 7) * 8, taken=taken))
+                instrs.append(alu(len(instrs), pc=0x44))
+            return instrs
+
+        import random
+
+        rng = random.Random(7)
+        noisy = run_trace(body([rng.random() < 0.5 for _ in range(97)]))
+        steady = run_trace(body([True]))
+        assert noisy.cycles > steady.cycles
+
+
+class TestStructuralLimits:
+    def test_tiny_rob_slows_execution(self):
+        prog_instrs = [load(i, pc=8, addr=64 * 64 * (i + 5)) for i in range(30)]
+        big = run_trace(list(prog_instrs), SystemParams.quick(num_cores=1))
+        small = run_trace(
+            list(prog_instrs),
+            SystemParams.quick(num_cores=1, rob_entries=4, lq_entries=4, iq_entries=4),
+        )
+        assert small.cycles > big.cycles
+
+    def test_aq_capacity_limits_inflight_atomics(self):
+        instrs = [
+            atomic(i, pc=0x40, addr=64 * 64 * (i + 5), op=AtomicOp.FAA)
+            for i in range(12)
+        ]
+        wide = run_trace(list(instrs), SystemParams.quick(num_cores=1))
+        narrow = run_trace(
+            list(instrs), SystemParams.quick(num_cores=1, aq_entries=1)
+        )
+        assert narrow.cycles > wide.cycles
+
+
+class TestFig4Stats:
+    def test_eager_issue_sees_older_unexecuted(self):
+        prog = build_program("canneal", 4, 2000, seed=0)
+        res = simulate(SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog)
+        hist = res.merged_core_stats().histogram("older_unexecuted_at_eager_issue")
+        assert hist.count > 0
+        assert hist.mean > 0
+
+    def test_lazy_issue_sees_younger_started(self):
+        prog = build_program("pc", 4, 2000, seed=0)
+        res = simulate(SystemParams.quick(atomic_mode=AtomicMode.LAZY), prog)
+        hist = res.merged_core_stats().histogram("younger_started_at_lazy_issue")
+        assert hist.count > 0
+        assert hist.mean > 0
+
+    def test_young_dep_workload_starts_fewer_younger(self):
+        from repro.workloads.profiles import get_profile
+
+        dep_free = get_profile("pc").with_overrides(young_dep_on_atomic_prob=0.0, name="p0")
+        dep_heavy = get_profile("pc").with_overrides(young_dep_on_atomic_prob=0.9, name="p9")
+        means = []
+        for profile in (dep_free, dep_heavy):
+            prog = build_program(profile, 4, 3000, seed=0)
+            res = simulate(SystemParams.quick(atomic_mode=AtomicMode.LAZY), prog)
+            means.append(
+                res.merged_core_stats()
+                .histogram("younger_started_at_lazy_issue")
+                .mean
+            )
+        assert means[1] < means[0]

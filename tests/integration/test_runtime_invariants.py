@@ -1,0 +1,102 @@
+"""Runtime invariants checked *during* simulation via instrumentation.
+
+These hook the pipeline's hot paths and assert structural properties on
+every event — the closest thing to hardware assertions the model has.
+"""
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.core import pipeline as pl
+from repro.sim.multicore import MulticoreSimulator
+from repro.workloads.synthetic import build_program
+
+
+@pytest.fixture
+def checked_unlock(monkeypatch):
+    """Wrap _unlock_atomic with AQ/SB alignment and lock-count checks."""
+    violations: list[str] = []
+    original = pl.Core._unlock_atomic
+
+    def wrapped(self, dyn, now):
+        entry = dyn.aq_entry
+        if not self.aq or self.aq[0] is not entry:
+            violations.append(f"AQ head misaligned at cycle {now}")
+        if any(count < 0 for count in self.locked_lines.values()):
+            violations.append(f"negative lock count at cycle {now}")
+        if not dyn.committed:
+            violations.append(f"unlock before commit at cycle {now}")
+        original(self, dyn, now)
+
+    monkeypatch.setattr(pl.Core, "_unlock_atomic", wrapped)
+    return violations
+
+
+@pytest.fixture
+def checked_lock(monkeypatch):
+    """Every lock must hold exclusive permission at lock time."""
+    violations: list[str] = []
+    original = pl.Core._on_atomic_data
+
+    def wrapped(self, dyn, when, from_private):
+        original(self, dyn, when, from_private)
+        entry = dyn.aq_entry
+        if entry is not None and entry.locked and not dyn.squashed:
+            if not self.controller.has_permission(dyn.line, excl=True):
+                violations.append(
+                    f"core {self.core_id} locked line {dyn.line:#x} "
+                    f"without ownership at cycle {when}"
+                )
+
+    monkeypatch.setattr(pl.Core, "_on_atomic_data", wrapped)
+    return violations
+
+
+WORKLOADS = ("pc", "cq", "canneal")
+
+
+class TestLockDiscipline:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize(
+        "mode", [AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW]
+    )
+    def test_unlock_alignment(self, checked_unlock, workload, mode):
+        prog = build_program(workload, 4, 1500, seed=0)
+        MulticoreSimulator(SystemParams.quick(atomic_mode=mode), prog).run()
+        assert not checked_unlock
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_lock_implies_ownership(self, checked_lock, workload):
+        prog = build_program(workload, 4, 1500, seed=1)
+        MulticoreSimulator(
+            SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog
+        ).run()
+        assert not checked_lock
+
+
+class TestSingleWriterInvariant:
+    def test_no_two_owners_sampled_over_run(self):
+        """Sample the coherence state every 50 cycles: at most one core may
+        hold E/M for any line (modulo wb-buffer transients, which keep the
+        *old* owner able to answer but not to write)."""
+        prog = build_program("pc", 4, 1200, seed=0)
+        sim = MulticoreSimulator(
+            SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog
+        )
+        violations = []
+
+        def sample():
+            owners: dict[int, list[int]] = {}
+            for cid, ctrl in enumerate(sim.controllers):
+                for line, state in ctrl.state.items():
+                    if state in ("E", "M"):
+                        owners.setdefault(line, []).append(cid)
+            for line, cores in owners.items():
+                if len(cores) > 1:
+                    violations.append((sim.engine.now, line, cores))
+            if not sim.cores[0].done or not all(c.done for c in sim.cores):
+                sim.engine.schedule_in(50, sample)
+
+        sim.engine.schedule(1, sample)
+        sim.run()
+        assert not violations

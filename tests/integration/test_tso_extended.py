@@ -1,0 +1,114 @@
+"""Extended TSO litmus coverage: atomics as synchronization primitives."""
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import (
+    LINE_BYTES,
+    AtomicOp,
+    Program,
+    ThreadTrace,
+    atomic,
+    load,
+    store,
+)
+from repro.sim.multicore import simulate
+
+X = 100 * LINE_BYTES
+Y = 200 * LINE_BYTES
+L = 300 * LINE_BYTES
+
+
+def run(prog, mode=AtomicMode.EAGER, pads=None):
+    params = SystemParams.quick(atomic_mode=mode)
+    return simulate(params, prog)
+
+
+def padded(instrs, pad, tid):
+    from repro.workloads.litmus import _padded
+
+    return _padded(instrs, pad, tid)
+
+
+class TestAtomicRelease:
+    """store data; SWAP flag  ||  spin-free read flag; read data.
+
+    The atomic acts as a release: if the reader observes the SWAP's flag
+    value, it must observe the data store (atomics order older stores)."""
+
+    @pytest.mark.parametrize("mode", [AtomicMode.EAGER, AtomicMode.LAZY])
+    @pytest.mark.parametrize("pad", [0, 4, 11, 30])
+    def test_no_stale_data_after_flag(self, mode, pad):
+        t0 = [
+            store(0, pc=0x10, addr=X, value=1),
+            atomic(1, pc=0x14, addr=Y, op=AtomicOp.SWAP, operand=1),
+        ]
+        t1 = [
+            load(0, pc=0x20, addr=Y),
+            load(1, pc=0x24, addr=X),
+        ]
+        prog = Program(
+            "release", [padded(t0, 0, 0), padded(t1, pad, 1)]
+        )
+        res = run(prog, mode)
+        flag = res.load_values[1][pad]
+        data = res.load_values[1][pad + 1]
+        assert not (flag == 1 and data == 0), f"release violated (pad={pad})"
+
+
+class TestAtomicAcquireChain:
+    """Two atomics on different lines from one thread commit in program
+    order (x86 atomics are totally ordered)."""
+
+    @pytest.mark.parametrize("mode", [AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW])
+    def test_atomic_atomic_ordering(self, mode):
+        t0 = [
+            atomic(0, pc=0x10, addr=X, op=AtomicOp.FAA, operand=1),
+            atomic(1, pc=0x14, addr=Y, op=AtomicOp.FAA, operand=1),
+        ]
+        t1 = [
+            load(0, pc=0x20, addr=Y),
+            load(1, pc=0x24, addr=X),
+        ]
+        for pad in (0, 3, 9, 21):
+            prog = Program(
+                "aa-order", [padded(t0, 0, 0), padded(t1, pad, 1)]
+            )
+            res = run(prog, mode)
+            y_val = res.load_values[1][pad]
+            x_val = res.load_values[1][pad + 1]
+            assert not (y_val == 1 and x_val == 0), (
+                f"atomic-atomic reorder observed (mode={mode}, pad={pad})"
+            )
+
+
+class TestCasLock:
+    """A spin-less CAS 'lock': each thread CASes 0->tid+1 exactly once;
+    at most one can succeed (the winner sees old value 0)."""
+
+    @pytest.mark.parametrize("mode", [AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW])
+    def test_single_winner(self, mode):
+        threads = 4
+        traces = []
+        for tid in range(threads):
+            body = [
+                atomic(
+                    0,
+                    pc=0x30,
+                    addr=L,
+                    op=AtomicOp.CAS,
+                    operand=tid + 1,
+                    cas_expected=0,
+                )
+            ]
+            traces.append(padded(body, tid * 5, tid))
+        prog = Program("cas-lock", traces)
+        res = run(prog, mode)
+        winners = [
+            tid
+            for tid in range(threads)
+            if res.load_values[tid][tid * 5] == 0  # observed old value 0
+        ]
+        assert len(winners) == 1
+        final = res.memory_snapshot.get(L)
+        assert final == winners[0] + 1

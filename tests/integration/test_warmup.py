@@ -1,0 +1,56 @@
+"""Cache-warmup tests: pre-installed regions must be consistent and useful."""
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.sim.multicore import MulticoreSimulator, simulate
+from repro.workloads.synthetic import build_program
+
+
+class TestWarmupConsistency:
+    def test_private_region_exclusive_with_directory_owner(self):
+        prog = build_program("barnes", 4, 500, seed=0)
+        sim = MulticoreSimulator(SystemParams.quick(), prog)
+        for cid, base, count in prog.metadata["warmup"]["private"]:
+            sample = base  # first line of the region is always warmed
+            ctrl = sim.controllers[cid]
+            assert ctrl.state.get(sample) == "E"
+            bank = sim.banks[sim.network.bank_of(sample)]
+            entry = bank.entry(sample)
+            assert entry.state == "M"
+            assert entry.owner == cid
+
+    def test_shared_region_shared_everywhere(self):
+        prog = build_program("barnes", 4, 500, seed=0)
+        sim = MulticoreSimulator(SystemParams.quick(), prog)
+        base, _count = prog.metadata["warmup"]["shared"]
+        for cid in range(4):
+            assert sim.controllers[cid].state.get(base) == "S"
+        entry = sim.banks[sim.network.bank_of(base)].entry(base)
+        assert entry.state == "S"
+        assert entry.sharers == {0, 1, 2, 3}
+
+    def test_warmup_capped_by_l2_capacity(self):
+        prog = build_program("canneal", 4, 500, seed=0)
+        params = SystemParams.quick()
+        sim = MulticoreSimulator(params, prog)
+        assert sim.controllers[0].l2.occupancy() <= params.l2.num_lines
+
+    def test_simulation_correct_after_warmup(self):
+        """Warm state must not break coherence: run a workload to completion."""
+        prog = build_program("tatp", 4, 1500, seed=0)
+        res = simulate(SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog)
+        cs = res.merged_core_stats()
+        assert cs.counter("committed").value == prog.total_instructions()
+
+
+class TestWarmupEffect:
+    def test_warmup_reduces_misses(self):
+        prog_warm = build_program("barnes", 4, 2000, seed=0)
+        prog_cold = build_program("barnes", 4, 2000, seed=0)
+        prog_cold.metadata.pop("warmup")
+        params = SystemParams.quick(atomic_mode=AtomicMode.EAGER)
+        warm = simulate(params, prog_warm)
+        cold = simulate(params, prog_cold)
+        warm_misses = warm.merged_controller_stats().counter("l1d_misses").value
+        cold_misses = cold.merged_controller_stats().counter("l1d_misses").value
+        assert warm_misses < cold_misses
+        assert warm.cycles < cold.cycles

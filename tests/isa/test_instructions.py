@@ -1,0 +1,124 @@
+"""Tests for the ISA layer: instructions, atomic semantics, traces."""
+
+import pytest
+
+from repro.isa.instructions import (
+    LINE_BYTES,
+    AtomicOp,
+    Instruction,
+    InstrClass,
+    Program,
+    ThreadTrace,
+    alu,
+    apply_atomic,
+    atomic,
+    branch,
+    line_of,
+    load,
+    mfence,
+    nop,
+    store,
+)
+
+
+class TestLineMath:
+    def test_line_of_zero(self):
+        assert line_of(0) == 0
+
+    def test_line_of_boundary(self):
+        assert line_of(LINE_BYTES - 1) == 0
+        assert line_of(LINE_BYTES) == 1
+
+    def test_instruction_line_property(self):
+        ld = load(0, pc=4, addr=3 * LINE_BYTES + 7)
+        assert ld.line == 3
+
+
+class TestConstruction:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError, match="address"):
+            Instruction(0, InstrClass.LOAD, pc=0)
+
+    def test_atomic_requires_op(self):
+        with pytest.raises(ValueError, match="atomic_op"):
+            Instruction(0, InstrClass.ATOMIC, pc=0, addr=64)
+
+    def test_alu_has_no_line(self):
+        with pytest.raises(ValueError):
+            _ = alu(0, pc=0).line
+
+    def test_is_memory(self):
+        assert load(0, 0, 64).is_memory
+        assert store(0, 0, 64).is_memory
+        assert atomic(0, 0, 64).is_memory
+        assert not alu(0, 0).is_memory
+        assert not branch(0, 0, True).is_memory
+        assert not mfence(0, 0).is_memory
+        assert not nop(0, 0).is_memory
+
+    def test_helpers_set_class(self):
+        assert alu(0, 0).cls is InstrClass.ALU
+        assert branch(0, 0, True).cls is InstrClass.BRANCH
+        assert mfence(0, 0).cls is InstrClass.MFENCE
+
+
+class TestAtomicSemantics:
+    def test_faa_returns_old_and_adds(self):
+        assert apply_atomic(AtomicOp.FAA, 10, 3, 0) == (13, 10)
+
+    def test_cas_success(self):
+        new, loaded = apply_atomic(AtomicOp.CAS, 5, 99, 5)
+        assert new == 99
+        assert loaded == 5
+
+    def test_cas_failure_leaves_memory(self):
+        new, loaded = apply_atomic(AtomicOp.CAS, 5, 99, 7)
+        assert new == 5
+        assert loaded == 5
+
+    def test_swap(self):
+        assert apply_atomic(AtomicOp.SWAP, 1, 2, 0) == (2, 1)
+
+    def test_faa_negative_operand(self):
+        assert apply_atomic(AtomicOp.FAA, 10, -4, 0) == (6, 10)
+
+
+class TestThreadTrace:
+    def test_validate_accepts_dense_seqs(self):
+        trace = ThreadTrace(0, [alu(0, 0), alu(1, 4, deps=(0,))])
+        trace.validate()
+
+    def test_validate_rejects_gapped_seq(self):
+        trace = ThreadTrace(0, [alu(0, 0), alu(2, 4)])
+        with pytest.raises(ValueError, match="seq"):
+            trace.validate()
+
+    def test_validate_rejects_forward_dep(self):
+        trace = ThreadTrace(0, [alu(0, 0, deps=()), alu(1, 4, deps=(1,))])
+        with pytest.raises(ValueError, match="depends"):
+            trace.validate()
+
+    def test_count_by_class(self):
+        trace = ThreadTrace(0, [alu(0, 0), load(1, 4, 64), load(2, 8, 128)])
+        assert trace.count(InstrClass.LOAD) == 2
+        assert trace.count(InstrClass.STORE) == 0
+
+    def test_len_and_indexing(self):
+        trace = ThreadTrace(0, [alu(0, 0)])
+        assert len(trace) == 1
+        assert trace[0].cls is InstrClass.ALU
+
+
+class TestProgram:
+    def test_total_instructions(self):
+        prog = Program(
+            "p",
+            [ThreadTrace(0, [alu(0, 0)]), ThreadTrace(1, [alu(0, 0), alu(1, 4)])],
+        )
+        assert prog.total_instructions() == 3
+        assert prog.num_threads == 2
+
+    def test_validate_checks_all_traces(self):
+        bad = Program("p", [ThreadTrace(0, [alu(1, 0)])])
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,68 @@
+"""A core-less protocol harness: controllers + directory banks + mesh.
+
+Lets protocol tests drive ``controller.access`` directly and observe the
+full MESI transaction flow without a pipeline in the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.memory.controller import PrivateCacheController
+from repro.memory.directory import DirectoryBank
+from repro.memory.interconnect import MeshNetwork
+from repro.sim.engine import EventEngine
+
+
+@dataclass
+class ProtocolSystem:
+    params: SystemParams
+    engine: EventEngine
+    network: MeshNetwork
+    banks: list[DirectoryBank]
+    controllers: list[PrivateCacheController]
+    completions: list[tuple[int, int, bool, int]] = field(default_factory=list)
+    # (core, cycle, from_private, latency) per completed access
+
+    def access(self, core: int, line: int, excl: bool) -> None:
+        self.controllers[core].access(
+            line,
+            excl,
+            cb=lambda when, priv, lat, c=core: self.completions.append(
+                (c, when, priv, lat)
+            ),
+        )
+
+    def pump(self, max_cycles: int = 100_000, until=None) -> bool:
+        """Run events until quiescent (or ``until()`` is true)."""
+        for _ in range(max_cycles):
+            self.engine.run_events()
+            if until is not None and until():
+                return True
+            if self.engine.next_event_cycle is None:
+                return until is None or bool(until())
+            self.engine.advance(idle=True)
+        raise AssertionError("protocol pump did not converge")
+
+    def dir_entry(self, line: int):
+        return self.banks[self.network.bank_of(line)].entry(line)
+
+
+@pytest.fixture
+def system() -> ProtocolSystem:
+    params = SystemParams.quick(enable_prefetcher=False)
+    network = MeshNetwork(params)
+    engine = EventEngine(network)
+    banks = [
+        DirectoryBank(node, params, engine) for node in range(params.num_cores)
+    ]
+    controllers = []
+    for cid in range(params.num_cores):
+        ctrl = PrivateCacheController(cid, params, engine)
+        controllers.append(ctrl)
+        engine.register_core_endpoint(cid, ctrl.receive)
+        engine.register_dir_endpoint(cid, banks[cid].receive)
+    return ProtocolSystem(params, engine, network, banks, controllers)

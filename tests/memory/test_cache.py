@@ -1,0 +1,121 @@
+"""Tests for the set-associative cache arrays."""
+
+import pytest
+
+from repro.common.params import CacheParams
+from repro.memory.cache import SetAssocCache
+
+
+def make_cache(sets=4, ways=2):
+    return SetAssocCache(CacheParams(sets * ways * 64, ways, 1), name="t")
+
+
+class TestBasics:
+    def test_insert_then_contains(self):
+        c = make_cache()
+        c.insert(5)
+        assert 5 in c
+
+    def test_missing_line_absent(self):
+        assert 5 not in make_cache()
+
+    def test_remove(self):
+        c = make_cache()
+        c.insert(5)
+        assert c.remove(5)
+        assert 5 not in c
+
+    def test_remove_absent_returns_false(self):
+        assert not make_cache().remove(5)
+
+    def test_occupancy(self):
+        c = make_cache()
+        c.insert(0)
+        c.insert(1)
+        assert c.occupancy() == 2
+
+    def test_lines(self):
+        c = make_cache()
+        c.insert(3)
+        c.insert(7)
+        assert c.lines() == {3, 7}
+
+    def test_set_mapping(self):
+        c = make_cache(sets=4)
+        assert c.set_index(0) == c.set_index(4)
+        assert c.set_index(0) != c.set_index(1)
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        victim = c.insert(2)
+        assert victim == 0
+
+    def test_touch_refreshes(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        c.touch(0)
+        victim = c.insert(2)
+        assert victim == 1
+
+    def test_touch_absent_returns_false(self):
+        assert not make_cache().touch(9)
+
+    def test_reinsert_refreshes_no_eviction(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        assert c.insert(0) is None  # already present
+        assert c.insert(2) == 1
+
+    def test_no_eviction_when_space(self):
+        c = make_cache(sets=1, ways=4)
+        for line in range(4):
+            assert c.insert(line) is None
+
+
+class TestPinning:
+    def test_pinned_line_never_victim(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        c.pin(0)
+        assert c.insert(2) == 1  # 0 is older but pinned
+
+    def test_all_pinned_raises(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        c.pin(0)
+        c.pin(1)
+        with pytest.raises(RuntimeError, match="pinned"):
+            c.insert(2)
+
+    def test_can_insert_detects_full_pinned_set(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        c.pin(0)
+        c.pin(1)
+        assert not c.can_insert(2)
+        assert c.can_insert(0)  # already present
+
+    def test_unpin_restores_evictability(self):
+        c = make_cache(sets=1, ways=2)
+        c.insert(0)
+        c.insert(1)
+        c.pin(0)
+        c.pin(1)
+        c.unpin(0)
+        assert c.insert(2) == 0
+
+    def test_is_pinned(self):
+        c = make_cache()
+        c.pin(3)
+        assert c.is_pinned(3)
+        c.unpin(3)
+        assert not c.is_pinned(3)

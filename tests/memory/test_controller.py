@@ -1,0 +1,137 @@
+"""Controller tests: cache locking stalls, snoops, presence/permission."""
+
+from repro.memory.messages import MsgKind
+
+
+class TestLockingStalls:
+    def test_external_stalls_on_locked_line(self, system):
+        ctrl0 = system.controllers[0]
+        system.access(0, line=100, excl=True)
+        system.pump()
+        locked = {100}
+        ctrl0.is_locked = lambda line: line in locked
+        blocked = []
+        ctrl0.on_external_blocked = lambda line, msg: blocked.append(line)
+        system.access(1, line=100, excl=True)
+        system.pump(until=lambda: bool(blocked))
+        assert blocked == [100]
+        assert 100 in ctrl0.stalled_externals
+        # Core 1 has not received the line.
+        assert 100 not in system.controllers[1].state
+
+    def test_unlock_releases_stalled_request(self, system):
+        ctrl0 = system.controllers[0]
+        locked = {100}
+        ctrl0.is_locked = lambda line: line in locked
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(1, line=100, excl=True)
+        system.pump(until=lambda: bool(ctrl0.stalled_externals.get(100)))
+        locked.clear()
+        ctrl0.unpin_and_release(100)
+        system.pump()
+        assert system.controllers[1].state.get(100) == "M"
+        assert 100 not in ctrl0.state
+
+    def test_relock_restalls_remaining_externals(self, system):
+        """A replayed external stalls again if the line was re-locked."""
+        ctrl0 = system.controllers[0]
+        locked = {100}
+        ctrl0.is_locked = lambda line: line in locked
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(1, line=100, excl=True)
+        system.pump(until=lambda: bool(ctrl0.stalled_externals.get(100)))
+        # Unlock but immediately re-lock before the replay event runs.
+        ctrl0.unpin_and_release(100)
+        # is_locked still reports True (the lock was retaken synchronously).
+        system.pump()
+        assert ctrl0.stalled_externals.get(100)
+
+    def test_observed_hook_fires_when_not_locked(self, system):
+        ctrl0 = system.controllers[0]
+        observed = []
+        ctrl0.on_external_observed = lambda line, msg: observed.append(
+            (line, msg.kind)
+        )
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(1, line=100, excl=True)
+        system.pump()
+        assert (100, MsgKind.FWD_GETX) in observed
+
+
+class TestSnoops:
+    def test_invalidation_hook_fires(self, system):
+        invalidated = []
+        system.controllers[0].on_invalidation = lambda line: invalidated.append(line)
+        system.access(0, line=100, excl=False)
+        system.pump()
+        system.access(1, line=100, excl=False)
+        system.pump()
+        system.access(2, line=100, excl=True)
+        system.pump()
+        assert 100 in invalidated
+
+    def test_fwd_gets_keeps_local_copy_shared(self, system):
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(1, line=100, excl=False)
+        system.pump()
+        assert system.controllers[0].state[100] == "S"
+        assert system.controllers[1].state[100] == "S"
+
+    def test_inv_for_absent_line_acks_harmlessly(self, system):
+        """Silent S-eviction leaves a stale sharer record; the later Inv
+        must be acknowledged without a crash."""
+        system.access(0, line=100, excl=False)
+        system.pump()
+        system.access(1, line=100, excl=False)
+        system.pump()  # dir now records S {0, 1}
+        # Core 0 silently drops its shared copy (S lines evict silently).
+        del system.controllers[0].state[100]
+        system.controllers[0].l1d.remove(100)
+        system.controllers[0].l2.remove(100)
+        system.access(2, line=100, excl=True)
+        system.pump()
+        assert system.controllers[2].state[100] == "M"
+
+
+class TestPresence:
+    def test_l1_and_l2_both_hold_fill(self, system):
+        system.access(0, line=100, excl=False)
+        system.pump()
+        assert 100 in system.controllers[0].l1d
+        assert 100 in system.controllers[0].l2
+
+    def test_l2_hit_reinstalls_l1(self, system):
+        ctrl = system.controllers[0]
+        system.access(0, line=100, excl=False)
+        system.pump()
+        ctrl.l1d.remove(100)  # L1 capacity victim; stays in inclusive L2
+        system.access(0, line=100, excl=False)
+        system.pump()
+        assert 100 in ctrl.l1d
+
+    def test_mark_dirty_upgrades_exclusive(self, system):
+        ctrl = system.controllers[0]
+        system.access(0, line=100, excl=False)
+        system.pump()
+        assert ctrl.state[100] == "E"
+        ctrl.mark_dirty(100)
+        assert ctrl.state[100] == "M"
+
+    def test_mark_dirty_without_ownership_raises(self, system):
+        import pytest
+
+        with pytest.raises(RuntimeError, match="ownership"):
+            system.controllers[0].mark_dirty(123)
+
+    def test_hit_counters(self, system):
+        system.access(0, line=100, excl=False)
+        system.pump()
+        system.access(0, line=100, excl=False)
+        system.pump()
+        ctrl = system.controllers[0]
+        assert ctrl.stats.counter("l1d_hits").value == 1
+        assert ctrl.stats.counter("l1d_misses").value == 1

@@ -1,0 +1,282 @@
+"""MESI directory protocol tests (including the Fig. 8 blocked-queue race)."""
+
+
+
+class TestBasicTransactions:
+    def test_gets_from_invalid_grants_exclusive(self, system):
+        system.access(0, line=100, excl=False)
+        system.pump()
+        assert system.controllers[0].state[100] == "E"
+        entry = system.dir_entry(100)
+        assert entry.state == "M"  # E tracked as owned at the directory
+        assert entry.owner == 0
+
+    def test_getx_from_invalid_grants_modified(self, system):
+        system.access(0, line=100, excl=True)
+        system.pump()
+        assert system.controllers[0].state[100] == "M"
+        assert system.dir_entry(100).owner == 0
+
+    def test_second_reader_downgrades_owner(self, system):
+        system.access(0, line=100, excl=False)
+        system.pump()
+        system.access(1, line=100, excl=False)
+        system.pump()
+        assert system.controllers[0].state[100] == "S"
+        assert system.controllers[1].state[100] == "S"
+        entry = system.dir_entry(100)
+        assert entry.state == "S"
+        assert entry.sharers == {0, 1}
+
+    def test_writer_invalidates_sharers(self, system):
+        for core in (0, 1):
+            system.access(core, line=100, excl=False)
+            system.pump()
+        system.access(2, line=100, excl=True)
+        system.pump()
+        assert 100 not in system.controllers[0].state
+        assert 100 not in system.controllers[1].state
+        assert system.controllers[2].state[100] == "M"
+        assert system.dir_entry(100).owner == 2
+
+    def test_ownership_transfer_cache_to_cache(self, system):
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(1, line=100, excl=True)
+        system.pump()
+        assert 100 not in system.controllers[0].state
+        assert system.controllers[1].state[100] == "M"
+        # The second fill came from core 0's private cache.
+        assert any(priv for core, _, priv, _ in system.completions if core == 1)
+
+    def test_upgrade_from_shared(self, system):
+        system.access(0, line=100, excl=False)
+        system.pump()
+        system.access(1, line=100, excl=False)
+        system.pump()
+        system.access(0, line=100, excl=True)
+        system.pump()
+        assert system.controllers[0].state[100] == "M"
+        assert 100 not in system.controllers[1].state
+
+    def test_lines_in_different_banks_independent(self, system):
+        system.access(0, line=0, excl=True)
+        system.access(0, line=1, excl=True)
+        system.pump()
+        assert system.controllers[0].state[0] == "M"
+        assert system.controllers[0].state[1] == "M"
+
+
+class TestLatencyShape:
+    def test_l3_hit_faster_than_memory(self, system):
+        system.access(0, line=100, excl=True)
+        system.pump()
+        first = system.completions[-1][3]
+        # Writeback puts it in L3; after losing and re-fetching, it hits L3.
+        system.access(1, line=100, excl=True)
+        system.pump()
+        c2c = system.completions[-1][3]
+        assert first > c2c  # memory fetch slower than cache-to-cache
+
+    def test_local_hit_has_hit_latency(self, system):
+        system.access(0, line=100, excl=True)
+        system.pump()
+        system.access(0, line=100, excl=True)
+        system.pump()
+        assert system.completions[-1][3] == system.params.l1d.hit_cycles
+
+
+class TestBlockedQueue:
+    def test_concurrent_getx_serialize(self, system):
+        """Two racing GetX: the second queues while the first is blocked
+        (Fig. 8 timeline) and ends with a cache-to-cache transfer."""
+        system.access(0, line=100, excl=True)
+        system.access(1, line=100, excl=True)
+        system.pump()
+        # Exactly one owner at the end, and both accesses completed.
+        owners = [c for c in (0, 1) if 100 in system.controllers[c].state]
+        assert len(owners) == 1
+        assert len(system.completions) == 2
+        assert system.dir_entry(100).state == "M"
+        assert system.dir_entry(100).queue == type(system.dir_entry(100).queue)()
+
+    def test_queued_request_recorded(self, system):
+        system.access(0, line=100, excl=True)
+        system.access(1, line=100, excl=True)
+        system.pump()
+        bank = system.banks[system.network.bank_of(100)]
+        assert bank.stats.counter("requests_queued").value >= 1
+
+    def test_many_racers_single_final_owner(self, system):
+        for core in range(system.params.num_cores):
+            system.access(core, line=100, excl=True)
+        system.pump()
+        owners = [
+            c
+            for c in range(system.params.num_cores)
+            if system.controllers[c].state.get(100) in ("M", "E")
+        ]
+        assert len(owners) == 1
+        assert len(system.completions) == system.params.num_cores
+
+
+class TestWriteback:
+    def test_putm_moves_line_to_l3(self, system):
+        params = system.params
+        ways = params.l2.ways
+        sets = params.l2.num_sets
+        # Fill one L2 set beyond capacity to force a dirty eviction.
+        base = 100
+        lines = [base + i * sets for i in range(ways + 1)]
+        for line in lines:
+            system.access(0, line, excl=True)
+            system.pump()
+        evicted = [line for line in lines if line not in system.controllers[0].state]
+        assert evicted, "expected at least one eviction"
+        for line in evicted:
+            entry = system.dir_entry(line)
+            assert entry.state == "I"
+            assert line in system.banks[system.network.bank_of(line)].l3
+
+    def test_wb_buffer_drains_after_ack(self, system):
+        params = system.params
+        sets = params.l2.num_sets
+        lines = [100 + i * sets for i in range(params.l2.ways + 1)]
+        for line in lines:
+            system.access(0, line, excl=True)
+            system.pump()
+        assert not system.controllers[0].wb_buffer
+
+    def test_stale_putm_ignored(self, system):
+        """A PutM racing with a forward must not clobber the new owner."""
+        params = system.params
+        sets = params.l2.num_sets
+        # Core 0 owns `target`; fill the set so the next fill evicts it while
+        # core 1 is simultaneously requesting it.
+        target = 100
+        system.access(0, target, excl=True)
+        system.pump()
+        filler = [target + (i + 1) * sets for i in range(params.l2.ways)]
+        for line in filler[:-1]:
+            system.access(0, line, excl=True)
+            system.pump()
+        # Trigger eviction of target and a racing request from core 1.
+        system.access(0, filler[-1], excl=True)
+        system.access(1, target, excl=True)
+        system.pump()
+        entry = system.dir_entry(target)
+        assert entry.state in ("M", "I")
+        if entry.state == "M":
+            assert entry.owner == 1
+
+
+class TestMshr:
+    def test_merging_requests_single_transaction(self, system):
+        calls = []
+        ctrl = system.controllers[0]
+        for i in range(3):
+            ctrl.access(200, excl=False, cb=lambda *a, i=i: calls.append(i))
+        system.pump()
+        assert sorted(calls) == [0, 1, 2]
+        bank = system.banks[system.network.bank_of(200)]
+        assert bank.stats.counter("requests_GetS").value == 1
+
+    def test_upgrade_waiter_gets_exclusive(self, system):
+        ctrl = system.controllers[0]
+        got = []
+        ctrl.access(200, excl=False, cb=lambda *a: got.append("s"))
+        ctrl.access(200, excl=True, cb=lambda *a: got.append("x"))
+        system.pump()
+        assert got == ["s", "x"]
+        assert ctrl.state[200] in ("E", "M")
+
+    def test_mshr_capacity_queues_requests(self, system):
+        ctrl = system.controllers[0]
+        done = []
+        n = system.params.mshr_entries + 3
+        for i in range(n):
+            ctrl.access(1000 + i * 64, excl=False, cb=lambda *a, i=i: done.append(i))
+        system.pump()
+        assert len(done) == n
+        assert ctrl.stats.counter("mshr_full").value >= 1
+
+
+class TestFarAmoProtocol:
+    """Protocol-level AMO tests (the far-atomics extension)."""
+
+    def _attach_image(self, system):
+        from repro.memory.image import MemoryImage
+
+        image = MemoryImage({320: 10})
+        for bank in system.banks:
+            bank.image = image
+        return image
+
+    def _send_amo(self, system, core, line=5, addr=320, operand=3):
+        from repro.isa.instructions import AtomicOp
+        from repro.memory.messages import Message, MsgKind
+
+        responses = []
+        system.controllers[core].on_amo_resp = responses.append
+        msg = Message(
+            MsgKind.AMO_REQ,
+            line,
+            src=core,
+            dst=system.network.bank_of(line),
+            requestor=core,
+            amo_op=AtomicOp.FAA,
+            amo_operand=operand,
+            amo_addr=addr,
+        )
+        system.engine.send(msg, to_directory=True)
+        return responses
+
+    def test_amo_on_invalid_line(self, system):
+        image = self._attach_image(system)
+        responses = self._send_amo(system, core=0)
+        system.pump()
+        assert len(responses) == 1
+        assert responses[0].amo_old == 10
+        assert responses[0].amo_new == 13
+        assert image.peek(320) == 13
+
+    def test_amo_recalls_owner(self, system):
+        image = self._attach_image(system)
+        system.access(1, line=5, excl=True)
+        system.pump()
+        responses = self._send_amo(system, core=0)
+        system.pump()
+        assert responses[0].amo_old == 10
+        assert 5 not in system.controllers[1].state  # owner invalidated
+        assert system.dir_entry(5).state == "I"
+
+    def test_amo_invalidates_sharers(self, system):
+        self._attach_image(system)
+        for core in (1, 2):
+            system.access(core, line=5, excl=False)
+            system.pump()
+        responses = self._send_amo(system, core=0)
+        system.pump()
+        assert len(responses) == 1
+        assert 5 not in system.controllers[1].state
+        assert 5 not in system.controllers[2].state
+
+    def test_concurrent_amos_serialize(self, system):
+        image = self._attach_image(system)
+        r0 = self._send_amo(system, core=0, operand=1)
+        r1 = self._send_amo(system, core=1, operand=1)
+        system.pump()
+        assert len(r0) == 1 and len(r1) == 1
+        assert {r0[0].amo_old, r1[0].amo_old} == {10, 11}
+        assert image.peek(320) == 12
+
+    def test_amo_without_image_raises(self, system):
+        from repro.sim.engine import DeadlockError
+
+        self._send_amo(system, core=0)
+        try:
+            system.pump()
+        except (RuntimeError, DeadlockError) as exc:
+            assert "memory image" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected a configuration error")

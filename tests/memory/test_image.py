@@ -1,0 +1,42 @@
+"""Memory-image tests."""
+
+from repro.memory.image import MemoryImage
+
+
+class TestMemoryImage:
+    def test_default_zero(self):
+        assert MemoryImage().read(0x1000) == 0
+
+    def test_initial_contents(self):
+        img = MemoryImage({0x40: 7})
+        assert img.read(0x40) == 7
+
+    def test_write_then_read(self):
+        img = MemoryImage()
+        img.write(0x40, 99)
+        assert img.read(0x40) == 99
+
+    def test_counts_accesses(self):
+        img = MemoryImage()
+        img.write(0, 1)
+        img.read(0)
+        img.read(0)
+        assert img.writes == 1
+        assert img.reads == 2
+
+    def test_peek_does_not_count(self):
+        img = MemoryImage({0: 5})
+        assert img.peek(0) == 5
+        assert img.reads == 0
+
+    def test_snapshot_is_a_copy(self):
+        img = MemoryImage({0: 1})
+        snap = img.snapshot()
+        snap[0] = 999
+        assert img.peek(0) == 1
+
+    def test_initial_dict_not_aliased(self):
+        init = {0: 1}
+        img = MemoryImage(init)
+        init[0] = 999
+        assert img.peek(0) == 1

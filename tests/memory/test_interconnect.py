@@ -1,0 +1,84 @@
+"""Tests for the 2-D mesh interconnect."""
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.memory.interconnect import MeshNetwork
+
+
+def make_mesh(cores=4, **overrides):
+    return MeshNetwork(SystemParams.quick(num_cores=cores, **overrides))
+
+
+class TestTopology:
+    def test_side_is_ceil_sqrt(self):
+        assert make_mesh(4).side == 2
+        assert make_mesh(8).side == 3
+        assert make_mesh(9).side == 3
+
+    def test_coords_roundtrip(self):
+        mesh = make_mesh(9)
+        for node in range(9):
+            x, y = mesh.coords(node)
+            assert y * mesh.side + x == node
+
+    def test_hops_manhattan(self):
+        mesh = make_mesh(9)  # 3x3
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 8) == 4  # corner to corner
+        assert mesh.hops(0, 1) == 1
+
+    def test_route_length_matches_hops(self):
+        mesh = make_mesh(9)
+        for src in range(9):
+            for dst in range(9):
+                assert len(mesh.route(src, dst)) == mesh.hops(src, dst)
+
+    def test_route_links_are_adjacent(self):
+        mesh = make_mesh(9)
+        for a, b in mesh.route(0, 8):
+            assert mesh.hops(a, b) == 1
+
+    def test_bank_interleaving(self):
+        mesh = make_mesh(4)
+        assert mesh.bank_of(0) == 0
+        assert mesh.bank_of(5) == 1
+        assert mesh.bank_of(7) == 3
+
+
+class TestLatency:
+    def test_same_tile_router_only(self):
+        mesh = make_mesh(4)
+        assert mesh.delivery_cycle(0, 0, now=10) == 10 + mesh.params.router_cycles
+
+    def test_latency_scales_with_hops(self):
+        mesh = make_mesh(9, model_link_contention=False)
+        near = mesh.delivery_cycle(0, 1, now=0)
+        far = mesh.delivery_cycle(0, 8, now=0)
+        assert far == 4 * near
+
+    def test_contention_delays_when_bandwidth_exceeded(self):
+        mesh = make_mesh(4, link_bandwidth=1)
+        first = mesh.delivery_cycle(0, 1, now=0)
+        second = mesh.delivery_cycle(0, 1, now=0)
+        assert second > first
+
+    def test_contention_free_when_disabled(self):
+        mesh = make_mesh(4, model_link_contention=False, link_bandwidth=1)
+        first = mesh.delivery_cycle(0, 1, now=0)
+        second = mesh.delivery_cycle(0, 1, now=0)
+        assert first == second
+
+    def test_prune_keeps_behaviour_for_future_cycles(self):
+        mesh = make_mesh(4, link_bandwidth=1)
+        mesh.delivery_cycle(0, 1, now=0)
+        mesh.prune(before_cycle=100)
+        # Claims before cycle 100 are gone; new sends at cycle 200 are clean.
+        arrival = mesh.delivery_cycle(0, 1, now=200)
+        assert arrival == 200 + mesh.hop_latency
+
+    def test_message_counter(self):
+        mesh = make_mesh(4)
+        mesh.delivery_cycle(0, 1, now=0)
+        mesh.delivery_cycle(1, 2, now=0)
+        assert mesh.stats.counter("messages").value == 2

@@ -1,0 +1,59 @@
+"""Coherence-message tests."""
+
+from repro.memory.messages import (
+    EXTERNAL_KINDS,
+    REQUEST_KINDS,
+    Message,
+    MsgKind,
+)
+
+
+class TestKinds:
+    def test_request_kinds(self):
+        assert MsgKind.GETS in REQUEST_KINDS
+        assert MsgKind.GETX in REQUEST_KINDS
+        assert MsgKind.PUTM in REQUEST_KINDS
+        assert MsgKind.DATA not in REQUEST_KINDS
+
+    def test_external_kinds(self):
+        assert EXTERNAL_KINDS == {MsgKind.INV, MsgKind.FWD_GETS, MsgKind.FWD_GETX}
+
+    def test_amo_kinds_exist(self):
+        assert MsgKind.AMO_REQ.value == "AmoReq"
+        assert MsgKind.AMO_RESP.value == "AmoResp"
+
+
+class TestMessage:
+    def test_unique_uids(self):
+        a = Message(MsgKind.GETS, 1, src=0, dst=1)
+        b = Message(MsgKind.GETS, 1, src=0, dst=1)
+        assert a.uid != b.uid
+
+    def test_defaults(self):
+        m = Message(MsgKind.DATA, 5, src=0, dst=1)
+        assert m.requestor == -1
+        assert not m.exclusive
+        assert not m.from_private_cache
+        assert m.issued_cycle == 0
+
+    def test_amo_payload(self):
+        from repro.isa.instructions import AtomicOp
+
+        m = Message(
+            MsgKind.AMO_REQ,
+            5,
+            src=0,
+            dst=1,
+            amo_op=AtomicOp.FAA,
+            amo_operand=3,
+            amo_addr=320,
+        )
+        assert m.amo_op is AtomicOp.FAA
+        assert m.amo_operand == 3
+        assert m.amo_addr == 320
+
+    def test_repr_readable(self):
+        m = Message(MsgKind.FWD_GETX, 0x40, src=2, dst=3, requestor=1)
+        text = repr(m)
+        assert "FwdGetX" in text
+        assert "2->3" in text

@@ -1,0 +1,85 @@
+"""IP-stride prefetcher tests."""
+
+from repro.common.params import SystemParams
+from repro.memory.prefetcher import IPStridePrefetcher
+
+
+class FakeController:
+    def __init__(self):
+        self.present: set[int] = set()
+        self.requests: list[int] = []
+        self.mshrs: dict[int, object] = {}
+        self.wb_buffer: set[int] = set()
+
+    def has_permission(self, line, excl):
+        return line in self.present
+
+    def access(self, line, excl, cb, pc=None, is_prefetch=False):
+        assert is_prefetch
+        self.requests.append(line)
+
+
+def make(degree=2):
+    params = SystemParams.quick(prefetcher_degree=degree, enable_prefetcher=True)
+    ctrl = FakeController()
+    return IPStridePrefetcher(params, ctrl), ctrl
+
+
+class TestStrideDetection:
+    def test_no_prefetch_before_confidence(self):
+        pf, ctrl = make()
+        pf.observe(pc=4, line=10)
+        pf.observe(pc=4, line=11)  # first stride observation
+        assert ctrl.requests == []
+
+    def test_prefetch_after_two_matching_strides(self):
+        pf, ctrl = make(degree=2)
+        for line in (10, 11, 12):
+            pf.observe(pc=4, line=line)
+        assert ctrl.requests == [13, 14]
+
+    def test_negative_stride(self):
+        pf, ctrl = make(degree=1)
+        for line in (20, 18, 16):
+            pf.observe(pc=4, line=line)
+        assert ctrl.requests == [14]
+
+    def test_stride_change_resets_confidence(self):
+        pf, ctrl = make()
+        for line in (10, 11, 12):
+            pf.observe(pc=4, line=line)
+        ctrl.requests.clear()
+        pf.observe(pc=4, line=20)  # stride broken
+        assert ctrl.requests == []
+
+    def test_zero_stride_ignored(self):
+        pf, ctrl = make()
+        for _ in range(4):
+            pf.observe(pc=4, line=10)
+        assert ctrl.requests == []
+
+    def test_present_lines_not_prefetched(self):
+        pf, ctrl = make(degree=2)
+        ctrl.present.add(13)
+        for line in (10, 11, 12):
+            pf.observe(pc=4, line=line)
+        assert ctrl.requests == [14]
+
+    def test_distinct_pcs_tracked_separately(self):
+        pf, ctrl = make(degree=1)
+        for line in (10, 11):
+            pf.observe(pc=4, line=line)
+        for line in (50, 60):
+            pf.observe(pc=8, line=line)
+        assert ctrl.requests == []  # neither PC confident yet
+        pf.observe(pc=4, line=12)
+        assert ctrl.requests == [13]
+
+    def test_table_capacity_replacement(self):
+        params = SystemParams.quick(prefetcher_table_entries=2)
+        ctrl = FakeController()
+        pf = IPStridePrefetcher(params, ctrl)
+        pf.observe(pc=0, line=1)
+        pf.observe(pc=4, line=2)
+        pf.observe(pc=8, line=3)  # evicts one entry
+        assert len(pf.entries) == 2

@@ -1,0 +1,92 @@
+"""Ring and crossbar topology tests."""
+
+import pytest
+
+from repro.common.params import NetworkTopology, SystemParams
+from repro.memory.interconnect import MeshNetwork
+
+
+def net(topology, cores=8, **kw):
+    return MeshNetwork(
+        SystemParams.quick(num_cores=cores, topology=topology, **kw)
+    )
+
+
+class TestRing:
+    def test_hops_shortest_direction(self):
+        r = net(NetworkTopology.RING, cores=8)
+        assert r.hops(0, 1) == 1
+        assert r.hops(0, 7) == 1  # wraps backwards
+        assert r.hops(0, 4) == 4  # diameter
+
+    def test_route_reaches_destination(self):
+        r = net(NetworkTopology.RING, cores=8)
+        for src in range(8):
+            for dst in range(8):
+                node = src
+                for a, b in r.route(src, dst):
+                    assert a == node
+                    node = b
+                assert node == dst
+
+    def test_route_length_matches_hops(self):
+        r = net(NetworkTopology.RING, cores=8)
+        for src in range(8):
+            for dst in range(8):
+                assert len(r.route(src, dst)) == r.hops(src, dst)
+
+    def test_ring_diameter_exceeds_mesh(self):
+        r = net(NetworkTopology.RING, cores=16)
+        m = net(NetworkTopology.MESH, cores=16)
+        assert max(
+            r.hops(0, d) for d in range(16)
+        ) > max(m.hops(0, d) for d in range(16))
+
+
+class TestCrossbar:
+    def test_single_hop_everywhere(self):
+        x = net(NetworkTopology.CROSSBAR, cores=9)
+        for dst in range(1, 9):
+            assert x.hops(0, dst) == 1
+            assert x.route(0, dst) == [(0, dst)]
+
+    def test_port_contention(self):
+        x = net(NetworkTopology.CROSSBAR, cores=4, link_bandwidth=1)
+        first = x.delivery_cycle(0, 1, now=0)
+        second = x.delivery_cycle(0, 1, now=0)
+        assert second > first
+
+    def test_distinct_destinations_do_not_contend(self):
+        x = net(NetworkTopology.CROSSBAR, cores=4, link_bandwidth=1)
+        a = x.delivery_cycle(0, 1, now=0)
+        b = x.delivery_cycle(0, 2, now=0)
+        assert a == b
+
+
+@pytest.mark.parametrize("topology", list(NetworkTopology))
+class TestEndToEnd:
+    def test_atomic_counter_correct_on_topology(self, topology):
+        from repro.common.params import AtomicMode
+        from repro.sim.multicore import simulate
+        from repro.workloads.litmus import atomic_counter
+
+        params = SystemParams.quick(atomic_mode=AtomicMode.EAGER, topology=topology)
+        prog = atomic_counter(4, 25)
+        res = simulate(params, prog)
+        assert res.memory_snapshot.get(prog.metadata["addr"]) == 100
+
+    def test_crossbar_not_slower_than_others(self, topology):
+        from repro.common.params import AtomicMode
+        from repro.sim.multicore import simulate
+        from repro.workloads.litmus import atomic_counter
+
+        if topology is NetworkTopology.CROSSBAR:
+            pytest.skip("comparison baseline")
+        params_x = SystemParams.quick(
+            atomic_mode=AtomicMode.LAZY, topology=NetworkTopology.CROSSBAR
+        )
+        params_o = SystemParams.quick(atomic_mode=AtomicMode.LAZY, topology=topology)
+        prog = atomic_counter(4, 40)
+        fast = simulate(params_x, prog).cycles
+        slow = simulate(params_o, prog).cycles
+        assert fast <= slow * 1.05

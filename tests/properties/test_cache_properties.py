@@ -1,0 +1,77 @@
+"""Property-based tests for the cache arrays."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import CacheParams
+from repro.memory.cache import SetAssocCache
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "touch", "pin", "unpin"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    max_size=200,
+)
+
+
+def apply_ops(cache, operations):
+    pinned: set[int] = set()
+    for op, line in operations:
+        if op == "insert":
+            if cache.can_insert(line):
+                cache.insert(line)
+        elif op == "remove":
+            cache.remove(line)
+            cache.unpin(line)
+            pinned.discard(line)
+        elif op == "touch":
+            cache.touch(line)
+        elif op == "pin":
+            if line in cache:
+                cache.pin(line)
+                pinned.add(line)
+        else:
+            cache.unpin(line)
+            pinned.discard(line)
+    return pinned
+
+
+class TestCacheInvariants:
+    @given(ops)
+    @settings(max_examples=150, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, operations):
+        cache = SetAssocCache(CacheParams(4 * 2 * 64, 2, 1))
+        apply_ops(cache, operations)
+        assert cache.occupancy() <= cache.num_sets * cache.ways
+        for s in cache._sets:
+            assert len(s) <= cache.ways
+
+    @given(ops)
+    @settings(max_examples=150, deadline=None)
+    def test_pinned_lines_survive_any_insert_storm(self, operations):
+        cache = SetAssocCache(CacheParams(4 * 2 * 64, 2, 1))
+        pinned = apply_ops(cache, operations)
+        live_pinned = {line for line in pinned if line in cache}
+        for line in range(200, 280):
+            if cache.can_insert(line):
+                cache.insert(line)
+        for line in live_pinned:
+            assert line in cache
+
+    @given(ops)
+    @settings(max_examples=100, deadline=None)
+    def test_contains_matches_lines(self, operations):
+        cache = SetAssocCache(CacheParams(4 * 2 * 64, 2, 1))
+        apply_ops(cache, operations)
+        reported = cache.lines()
+        for line in range(64):
+            assert (line in cache) == (line in reported)
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_most_recent_insert_always_present(self, lines):
+        cache = SetAssocCache(CacheParams(8 * 2 * 64, 2, 1))
+        for line in lines:
+            cache.insert(line)
+            assert line in cache

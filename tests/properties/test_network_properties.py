@@ -1,0 +1,73 @@
+"""Property-based tests for the mesh interconnect."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import SystemParams
+from repro.memory.interconnect import MeshNetwork
+
+
+def mesh(cores):
+    return MeshNetwork(SystemParams.quick(num_cores=cores))
+
+
+cores_st = st.sampled_from([1, 2, 4, 8, 9, 16])
+
+
+class TestRouting:
+    @given(cores_st, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_route_reaches_destination(self, cores, data):
+        net = mesh(cores)
+        src = data.draw(st.integers(0, cores - 1))
+        dst = data.draw(st.integers(0, cores - 1))
+        route = net.route(src, dst)
+        node = src
+        for a, b in route:
+            assert a == node
+            node = b
+        assert node == dst
+
+    @given(cores_st, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_hops_symmetric(self, cores, data):
+        net = mesh(cores)
+        a = data.draw(st.integers(0, cores - 1))
+        b = data.draw(st.integers(0, cores - 1))
+        assert net.hops(a, b) == net.hops(b, a)
+
+    @given(cores_st, st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, cores, data):
+        net = mesh(cores)
+        a = data.draw(st.integers(0, cores - 1))
+        b = data.draw(st.integers(0, cores - 1))
+        c = data.draw(st.integers(0, cores - 1))
+        assert net.hops(a, c) <= net.hops(a, b) + net.hops(b, c)
+
+
+class TestDelivery:
+    @given(cores_st, st.data(), st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_delivery_never_in_past(self, cores, data, now):
+        net = mesh(cores)
+        src = data.draw(st.integers(0, cores - 1))
+        dst = data.draw(st.integers(0, cores - 1))
+        assert net.delivery_cycle(src, dst, now) >= now
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_under_load(self, data):
+        """Repeated sends on the same link never get faster."""
+        net = mesh(4)
+        src = data.draw(st.integers(0, 3))
+        dst = data.draw(st.integers(0, 3))
+        arrivals = [net.delivery_cycle(src, dst, 0) for _ in range(10)]
+        assert arrivals == sorted(arrivals)
+
+    @given(cores_st)
+    @settings(max_examples=20, deadline=None)
+    def test_lines_map_to_valid_banks(self, cores):
+        net = mesh(cores)
+        for line in range(0, 5000, 97):
+            assert 0 <= net.bank_of(line) < cores

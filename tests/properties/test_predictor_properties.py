@@ -1,0 +1,85 @@
+"""Property-based tests for the contention predictor and detection math."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import PredictorKind, RowParams
+from repro.row.detection import elapsed, stamp
+from repro.row.predictor import ContentionPredictor
+
+outcomes = st.lists(st.booleans(), max_size=300)
+pcs = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestPredictorInvariants:
+    @given(outcomes, pcs)
+    @settings(max_examples=150, deadline=None)
+    def test_counters_stay_in_range(self, history, pc):
+        for kind in PredictorKind:
+            pred = ContentionPredictor(RowParams(predictor=kind))
+            for contended in history:
+                pred.update(pc, contended)
+            for value in pred.table:
+                assert 0 <= value <= pred.counter_max
+
+    @given(pcs)
+    @settings(max_examples=200, deadline=None)
+    def test_index_always_valid(self, pc):
+        pred = ContentionPredictor(RowParams())
+        assert 0 <= pred.index(pc) < pred.entries
+
+    @given(outcomes)
+    @settings(max_examples=100, deadline=None)
+    def test_saturate_predicts_contended_iff_recent_contention(self, history):
+        pred = ContentionPredictor(RowParams(predictor=PredictorKind.SATURATE))
+        pc = 0x40
+        for contended in history:
+            pred.update(pc, contended)
+        # Sat predicts contended iff fewer than 15 clean runs since the last
+        # contention event.
+        clean_tail = 0
+        for contended in reversed(history):
+            if contended:
+                break
+            clean_tail += 1
+        else:
+            clean_tail = None  # never contended
+        if clean_tail is None:
+            assert pred.predict(pc) is False
+        elif clean_tail < 15:
+            assert pred.predict(pc) is True
+        else:
+            assert pred.predict(pc) is False
+
+    @given(outcomes)
+    @settings(max_examples=100, deadline=None)
+    def test_updown_counter_is_bounded_walk(self, history):
+        pred = ContentionPredictor(RowParams(predictor=PredictorKind.UPDOWN))
+        pc = 0x40
+        expected = 0
+        for contended in history:
+            expected = min(15, expected + 1) if contended else max(0, expected - 1)
+            pred.update(pc, contended)
+        assert pred.table[pred.index(pc)] == expected
+
+
+class TestTimestampProperties:
+    @given(
+        st.integers(min_value=0, max_value=1 << 40),
+        st.integers(min_value=0, max_value=(1 << 14) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_elapsed_correct_below_wrap(self, start, delta):
+        issued = stamp(start, 14)
+        assert elapsed(issued, start + delta, 14) == delta
+
+    @given(st.integers(min_value=0, max_value=1 << 40), st.integers(0, 1 << 20))
+    @settings(max_examples=200, deadline=None)
+    def test_elapsed_is_true_latency_mod_2_14(self, start, delta):
+        issued = stamp(start, 14)
+        assert elapsed(issued, start + delta, 14) == delta % (1 << 14)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=100, deadline=None)
+    def test_stamp_idempotent(self, cycle):
+        assert stamp(stamp(cycle, 14), 14) == stamp(cycle, 14)

@@ -1,0 +1,78 @@
+"""Property-based tests for the synthetic trace generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import InstrClass
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import TraceGenerator
+
+profiles = st.builds(
+    lambda api, hot, lines, locality, ydep, loads, stores: get_profile(
+        "barnes"
+    ).with_overrides(
+        name="hypo",
+        atomics_per_10k=api,
+        hot_fraction=hot,
+        num_hot_lines=lines,
+        store_before_atomic_prob=locality,
+        young_dep_on_atomic_prob=ydep,
+        load_frac=loads,
+        store_frac=stores,
+    ),
+    api=st.floats(0, 200),
+    hot=st.floats(0, 1),
+    lines=st.integers(1, 32),
+    locality=st.floats(0, 1),
+    ydep=st.floats(0, 1),
+    loads=st.floats(0.05, 0.4),
+    stores=st.floats(0.02, 0.25),
+)
+
+
+class TestGeneratorProperties:
+    @given(profiles, st.integers(0, 30), st.integers(50, 1500))
+    @settings(max_examples=40, deadline=None)
+    def test_any_profile_produces_valid_trace(self, profile, seed, n):
+        trace = TraceGenerator(profile, 0, 4, seed).generate(n)
+        assert len(trace) == n
+        trace.validate()
+
+    @given(profiles, st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_deps_always_point_backwards_within_window(self, profile, seed):
+        trace = TraceGenerator(profile, 0, 4, seed).generate(800)
+        for instr in trace.instructions:
+            for dep in instr.src_deps:
+                assert 0 <= dep < instr.seq
+                # The producer window holds 24 producers; only ~half of all
+                # instructions produce values, so the *instruction* distance
+                # can stretch a few times beyond that — but never unbounded.
+                assert instr.seq - dep <= 150
+
+    @given(profiles, st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_memory_instructions_have_line_aligned_addresses(
+        self, profile, seed
+    ):
+        trace = TraceGenerator(profile, 0, 4, seed).generate(500)
+        for instr in trace.instructions:
+            if instr.is_memory:
+                assert instr.addr is not None
+                assert instr.addr % 64 == 0
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_atomics_profile_has_no_atomics(self, seed):
+        profile = get_profile("barnes").with_overrides(
+            name="zero", atomics_per_10k=0.0, store_before_atomic_prob=0.0
+        )
+        trace = TraceGenerator(profile, 0, 4, seed).generate(2000)
+        assert trace.count(InstrClass.ATOMIC) == 0
+
+    @given(profiles)
+    @settings(max_examples=20, deadline=None)
+    def test_regeneration_is_identical(self, profile):
+        a = TraceGenerator(profile, 1, 4, 9).generate(300)
+        b = TraceGenerator(profile, 1, 4, 9).generate(300)
+        assert a.instructions == b.instructions

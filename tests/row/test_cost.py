@@ -1,0 +1,40 @@
+"""Hardware-cost accounting tests (Sec. IV-F: the 64-byte budget)."""
+
+from repro.common.params import RowParams
+from repro.row.cost import row_hardware_cost
+
+
+class TestPaperBudget:
+    def test_predictor_is_256_bits(self):
+        cost = row_hardware_cost(RowParams(), aq_entries=16)
+        assert cost.predictor_bits == 256  # 64 entries x 4 bits
+
+    def test_aq_augmentation_is_256_bits(self):
+        cost = row_hardware_cost(RowParams(), aq_entries=16)
+        assert cost.aq_augmentation_bits == 256  # 16 x (1 + 1 + 14)
+
+    def test_total_is_64_bytes(self):
+        cost = row_hardware_cost(RowParams(), aq_entries=16)
+        assert cost.total_storage_bytes == 64.0
+
+    def test_arithmetic_units_are_14_bit(self):
+        cost = row_hardware_cost(RowParams(), aq_entries=16)
+        assert cost.subtractor_bits == 14
+        assert cost.comparator_bits == 14
+
+
+class TestScaling:
+    def test_smaller_predictor(self):
+        cost = row_hardware_cost(
+            RowParams(predictor_entries=16, counter_bits=2), aq_entries=16
+        )
+        assert cost.predictor_bits == 32
+
+    def test_aq_entries_scale(self):
+        cost = row_hardware_cost(RowParams(), aq_entries=8)
+        assert cost.aq_augmentation_bits == 128
+
+    def test_timestamp_width_scales(self):
+        cost = row_hardware_cost(RowParams(timestamp_bits=10), aq_entries=16)
+        assert cost.aq_augmentation_bits == 16 * 12
+        assert cost.subtractor_bits == 10

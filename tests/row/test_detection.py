@@ -1,0 +1,163 @@
+"""Contention-detection tests: EW / RW / RW+Dir and 14-bit timestamps."""
+
+import pytest
+
+from repro.common.params import DetectionMode, RowParams
+from repro.core.dyninstr import AQEntry, DynInstr
+from repro.isa.instructions import atomic
+from repro.row.detection import ContentionDetector, elapsed, oracle_contended, stamp
+
+
+def make_entry(line=5, locked=False, stamp_value=None):
+    dyn = DynInstr(atomic(0, pc=0x40, addr=line * 64), uid=0, fetch_cycle=0)
+    entry = AQEntry(dyn, line=line, locked=locked)
+    entry.request_issued_stamp = stamp_value
+    return entry
+
+
+def detector(mode, threshold=400):
+    return ContentionDetector(
+        RowParams(detection=mode, latency_threshold=threshold)
+    )
+
+
+class TestTimestampArithmetic:
+    def test_stamp_truncates(self):
+        assert stamp(0x12345, 14) == 0x12345 & 0x3FFF
+
+    def test_elapsed_simple(self):
+        assert elapsed(stamp(100, 14), 350, 14) == 250
+
+    def test_elapsed_across_wraparound(self):
+        issued = stamp((1 << 14) - 10, 14)
+        assert elapsed(issued, (1 << 14) + 20, 14) == 30
+
+    def test_footnote4_aliasing(self):
+        """A true latency of 2^14 + 50 aliases to 50 — misread as below the
+        threshold, exactly as the paper's footnote 4 documents."""
+        issued = stamp(0, 14)
+        true_latency = (1 << 14) + 50
+        assert elapsed(issued, true_latency, 14) == 50
+
+
+class TestExecutionWindow:
+    def test_marks_locked_match(self):
+        det = detector(DetectionMode.EW)
+        entry = make_entry(locked=True)
+        assert det.on_external_request(entry, line=5)
+        assert entry.contended
+
+    def test_ignores_unlocked_match(self):
+        det = detector(DetectionMode.EW)
+        entry = make_entry(locked=False)
+        assert not det.on_external_request(entry, line=5)
+        assert not entry.contended
+
+    def test_ignores_other_line(self):
+        det = detector(DetectionMode.EW)
+        entry = make_entry(line=5, locked=True)
+        assert not det.on_external_request(entry, line=6)
+
+    def test_no_dir_detection(self):
+        det = detector(DetectionMode.EW)
+        entry = make_entry(stamp_value=0)
+        assert not det.on_data_arrival(entry, now=1000, from_private_cache=True)
+        assert not entry.contended
+
+
+class TestReadyWindow:
+    def test_marks_unlocked_match(self):
+        det = detector(DetectionMode.RW)
+        entry = make_entry(locked=False)
+        assert det.on_external_request(entry, line=5)
+        assert entry.contended
+
+    def test_tracks_ready_window_flag(self):
+        assert not detector(DetectionMode.EW).tracks_ready_window
+        assert detector(DetectionMode.RW).tracks_ready_window
+        assert detector(DetectionMode.RW_DIR).tracks_ready_window
+
+    def test_repeated_mark_not_newly(self):
+        det = detector(DetectionMode.RW)
+        entry = make_entry(locked=True)
+        assert det.on_external_request(entry, line=5)
+        assert not det.on_external_request(entry, line=5)  # already marked
+
+    def test_no_dir_detection(self):
+        det = detector(DetectionMode.RW)
+        entry = make_entry(stamp_value=0)
+        assert not det.on_data_arrival(entry, now=1000, from_private_cache=True)
+
+
+class TestDirDetection:
+    def test_slow_private_fill_marks(self):
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert det.on_data_arrival(entry, now=500, from_private_cache=True)
+        assert entry.contended
+
+    def test_fast_private_fill_does_not_mark(self):
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert not det.on_data_arrival(entry, now=100, from_private_cache=True)
+
+    def test_exactly_threshold_does_not_mark(self):
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert not det.on_data_arrival(entry, now=400, from_private_cache=True)
+
+    def test_memory_fill_never_marks(self):
+        """Filtering on the private-cache sender bit excludes long-latency
+        LLC/memory fetches (Sec. IV-C)."""
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert not det.on_data_arrival(entry, now=5000, from_private_cache=False)
+
+    def test_infinite_threshold_degenerates_to_rw(self):
+        det = detector(DetectionMode.RW_DIR, threshold=None)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert not det.on_data_arrival(entry, now=99999, from_private_cache=True)
+
+    def test_zero_threshold_marks_any_private_fill(self):
+        det = detector(DetectionMode.RW_DIR, threshold=0)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert det.on_data_arrival(entry, now=1, from_private_cache=True)
+
+    def test_records_latency_and_source(self):
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(100, 14))
+        det.on_data_arrival(entry, now=350, from_private_cache=True)
+        assert entry.data_latency == 250
+        assert entry.data_from_private
+
+    def test_wraparound_misses_detection(self):
+        """The documented 14-bit aliasing window: a 2^14+50 latency looks
+        like 50 cycles and escapes detection."""
+        det = detector(DetectionMode.RW_DIR)
+        entry = make_entry(stamp_value=stamp(0, 14))
+        assert not det.on_data_arrival(
+            entry, now=(1 << 14) + 50, from_private_cache=True
+        )
+
+
+class TestOracle:
+    def test_external_seen_is_contended(self):
+        entry = make_entry()
+        entry.external_seen = True
+        assert oracle_contended(entry)
+
+    def test_slow_private_fill_is_contended(self):
+        entry = make_entry()
+        entry.data_from_private = True
+        entry.data_latency = 500
+        assert oracle_contended(entry)
+
+    def test_clean_entry_not_contended(self):
+        assert not oracle_contended(make_entry())
+
+    def test_threshold_parameter(self):
+        entry = make_entry()
+        entry.data_from_private = True
+        entry.data_latency = 50
+        assert not oracle_contended(entry, truth_threshold=400)
+        assert oracle_contended(entry, truth_threshold=40)

@@ -1,0 +1,97 @@
+"""RowMechanism tests: decision, promotion, training."""
+
+from repro.common.params import PredictorKind, RowParams
+from repro.core.dyninstr import AQEntry, DynInstr
+from repro.isa.instructions import atomic
+from repro.row.mechanism import RowMechanism
+
+
+def make_mech(**kw):
+    return RowMechanism(RowParams(**kw))
+
+
+def make_entry(pc=0x40, predicted_contended=False):
+    dyn = DynInstr(atomic(0, pc=pc, addr=320), uid=0, fetch_cycle=0)
+    dyn.predicted_contended = predicted_contended
+    entry = AQEntry(dyn, line=5)
+    dyn.aq_entry = entry
+    return entry
+
+
+class TestDecision:
+    def test_cold_predictor_decides_eager(self):
+        assert make_mech().decide_eager(0x40) is True
+
+    def test_trained_contention_decides_lazy(self):
+        mech = make_mech(predictor=PredictorKind.SATURATE)
+        entry = make_entry()
+        entry.contended = True
+        mech.train(entry)
+        assert mech.decide_eager(0x40) is False
+
+    def test_decision_is_per_pc(self):
+        mech = make_mech(predictor=PredictorKind.SATURATE)
+        entry = make_entry(pc=0x40)
+        entry.contended = True
+        mech.train(entry)
+        assert mech.decide_eager(0x44) is True
+
+
+class TestForwardingPromotion:
+    def test_promotes_when_enabled_and_match(self):
+        mech = make_mech(forward_to_atomics=True)
+        entry = make_entry()
+        entry.only_calc_addr = True
+        assert mech.try_promote_for_forwarding(entry, store_match=True)
+        assert not entry.only_calc_addr
+
+    def test_no_promotion_without_match(self):
+        mech = make_mech(forward_to_atomics=True)
+        entry = make_entry()
+        entry.only_calc_addr = True
+        assert not mech.try_promote_for_forwarding(entry, store_match=False)
+        assert entry.only_calc_addr
+
+    def test_no_promotion_when_forwarding_disabled(self):
+        mech = make_mech(forward_to_atomics=False)
+        entry = make_entry()
+        assert not mech.try_promote_for_forwarding(entry, store_match=True)
+
+    def test_no_promotion_when_promote_disabled(self):
+        mech = make_mech(forward_to_atomics=True, promote_on_forward=False)
+        entry = make_entry()
+        assert not mech.try_promote_for_forwarding(entry, store_match=True)
+
+    def test_promotion_counted(self):
+        mech = make_mech(forward_to_atomics=True)
+        mech.try_promote_for_forwarding(make_entry(), store_match=True)
+        assert mech.stats.counter("promoted_to_eager").value == 1
+
+
+class TestTraining:
+    def test_train_updates_predictor(self):
+        mech = make_mech(predictor=PredictorKind.SATURATE)
+        entry = make_entry()
+        entry.contended = True
+        mech.train(entry)
+        assert mech.predictor.table[mech.predictor.index(0x40)] == 15
+
+    def test_train_records_accuracy(self):
+        mech = make_mech()
+        hit = make_entry(predicted_contended=True)
+        hit.contended = True
+        mech.train(hit)
+        miss = make_entry(predicted_contended=True)
+        miss.contended = False
+        mech.train(miss)
+        assert mech.predictor.accuracy == 0.5
+
+    def test_train_counts_detected_and_truth(self):
+        mech = make_mech()
+        entry = make_entry()
+        entry.contended = True
+        entry.contended_truth = True
+        mech.train(entry)
+        assert mech.stats.counter("atomics_detected_contended").value == 1
+        assert mech.stats.counter("atomics_truth_contended").value == 1
+        assert mech.stats.counter("atomics_trained").value == 1

@@ -1,0 +1,135 @@
+"""Contention predictor tests (Sec. IV-D)."""
+
+import pytest
+
+from repro.common.params import PredictorKind, RowParams
+from repro.row.predictor import ContentionPredictor
+
+
+def make(kind=PredictorKind.UPDOWN, **kw):
+    return ContentionPredictor(RowParams(predictor=kind, **kw))
+
+
+class TestIndexing:
+    def test_paper_xor_mapping(self):
+        pred = make()
+        # index = (6 LSBs of pc) XOR (next 6 bits)
+        pc = 0b101010_110011
+        assert pred.index(pc) == (0b110011 ^ 0b101010)
+
+    def test_index_in_range(self):
+        pred = make()
+        for pc in range(0, 1 << 14, 37):
+            assert 0 <= pred.index(pc) < 64
+
+    def test_distinct_sites_spread(self):
+        pred = make()
+        indices = {pred.index(0x1000 + site * 4) for site in range(16)}
+        assert len(indices) == 16
+
+    def test_generalizes_to_other_sizes(self):
+        pred = make(predictor_entries=16)
+        for pc in range(0, 4096, 13):
+            assert 0 <= pred.index(pc) < 16
+
+
+class TestUpDown:
+    def test_starts_not_contended(self):
+        assert make().predict(0x40) is False
+
+    def test_crosses_threshold_after_two_contentions(self):
+        pred = make()
+        pred.update(0x40, True)
+        assert pred.predict(0x40) is False  # counter == 1 == threshold
+        pred.update(0x40, True)
+        assert pred.predict(0x40) is True  # counter == 2 > 1
+
+    def test_decays_one_per_clean_run(self):
+        pred = make()
+        for _ in range(3):
+            pred.update(0x40, True)
+        pred.update(0x40, False)
+        pred.update(0x40, False)
+        assert pred.predict(0x40) is False  # 3 - 2 = 1 <= threshold
+
+    def test_saturates_at_counter_max(self):
+        pred = make()
+        for _ in range(40):
+            pred.update(0x40, True)
+        assert pred.table[pred.index(0x40)] == 15
+
+    def test_floors_at_zero(self):
+        pred = make()
+        for _ in range(5):
+            pred.update(0x40, False)
+        assert pred.table[pred.index(0x40)] == 0
+
+
+class TestSaturate:
+    def test_single_contention_jumps_to_max(self):
+        pred = make(PredictorKind.SATURATE)
+        pred.update(0x40, True)
+        assert pred.table[pred.index(0x40)] == 15
+        assert pred.predict(0x40) is True
+
+    def test_needs_fifteen_clean_runs_to_flip(self):
+        """The paper's observation: 'the saturating predictor needs ...
+        fifteen consecutive times before the prediction moves'."""
+        pred = make(PredictorKind.SATURATE)
+        pred.update(0x40, True)
+        for i in range(14):
+            pred.update(0x40, False)
+            assert pred.predict(0x40) is True, f"flipped after {i + 1} runs"
+        pred.update(0x40, False)
+        assert pred.predict(0x40) is False
+
+
+class TestPlus2Minus1:
+    def test_increments_by_two(self):
+        pred = make(PredictorKind.PLUS2MINUS1)
+        pred.update(0x40, True)
+        assert pred.table[pred.index(0x40)] == 2
+        assert pred.predict(0x40) is True
+
+    def test_decays_by_one(self):
+        pred = make(PredictorKind.PLUS2MINUS1)
+        pred.update(0x40, True)
+        pred.update(0x40, False)
+        assert pred.table[pred.index(0x40)] == 1
+        assert pred.predict(0x40) is False
+
+
+class TestAliasing:
+    def test_aliased_pcs_share_counter(self):
+        pred = make()
+        pc_a = 0x40
+        # Construct a PC with the same XOR-mapped index.
+        pc_b = None
+        for cand in range(0x1000, 0x2000, 4):
+            if cand != pc_a and pred.index(cand) == pred.index(pc_a):
+                pc_b = cand
+                break
+        assert pc_b is not None
+        pred.update(pc_a, True)
+        pred.update(pc_a, True)
+        assert pred.predict(pc_b) is True  # destructive aliasing, as in Sec. IV-D
+
+    def test_single_entry_predictor_aliases_everything(self):
+        pred = make(predictor_entries=1)
+        pred.update(0x40, True)
+        pred.update(0x40, True)
+        assert pred.predict(0x999) is True
+
+
+class TestAccuracyBookkeeping:
+    def test_accuracy_tracks_matches(self):
+        pred = make()
+        pred.record_outcome(True, True)
+        pred.record_outcome(False, True)
+        assert pred.accuracy == pytest.approx(0.5)
+
+    def test_accuracy_empty_is_one(self):
+        assert make().accuracy == 1.0
+
+    def test_storage_bits(self):
+        assert make().storage_bits() == 64 * 4

@@ -1,0 +1,96 @@
+"""Multicore harness tests: construction, results, error handling."""
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import Program, ThreadTrace, alu, load, store
+from repro.sim.multicore import MulticoreSimulator, RunResult, simulate
+from repro.workloads.litmus import atomic_counter
+from repro.workloads.synthetic import build_program
+
+
+class TestConstruction:
+    def test_too_many_threads_rejected(self):
+        prog = atomic_counter(8, 1)
+        with pytest.raises(ValueError, match="cores"):
+            MulticoreSimulator(SystemParams.quick(num_cores=4), prog)
+
+    def test_invalid_params_rejected(self):
+        prog = atomic_counter(2, 1)
+        with pytest.raises(ValueError):
+            MulticoreSimulator(SystemParams.quick(num_cores=0), prog)
+
+    def test_invalid_program_rejected(self):
+        bad = Program("bad", [ThreadTrace(0, [alu(1, 0)])])
+        with pytest.raises(ValueError):
+            MulticoreSimulator(SystemParams.quick(), bad)
+
+    def test_fewer_threads_than_cores_ok(self):
+        prog = atomic_counter(2, 5)
+        res = simulate(SystemParams.quick(num_cores=4), prog)
+        assert res.memory_snapshot.get(prog.metadata["addr"]) == 10
+
+
+class TestRunResult:
+    @pytest.fixture(scope="class")
+    def result(self) -> RunResult:
+        prog = build_program("sps", 4, 2000, seed=0)
+        return simulate(SystemParams.quick(atomic_mode=AtomicMode.EAGER), prog)
+
+    def test_cycles_positive(self, result):
+        assert result.cycles > 0
+
+    def test_ipc_consistent(self, result):
+        assert result.ipc == pytest.approx(
+            result.instructions / result.cycles
+        )
+
+    def test_atomics_per_10k(self, result):
+        atomics = result.atomics_committed()
+        assert result.atomics_per_10k() == pytest.approx(
+            1e4 * atomics / result.instructions
+        )
+
+    def test_contended_fraction_in_unit_interval(self, result):
+        assert 0.0 <= result.contended_fraction() <= 1.0
+
+    def test_per_core_cycles_bounded_by_total(self, result):
+        assert len(result.per_core_cycles) == 4
+        for finish in result.per_core_cycles:
+            assert 0 < finish <= result.cycles
+
+    def test_load_values_per_core(self, result):
+        assert len(result.load_values) == 4
+        assert any(result.load_values)
+
+    def test_merged_stats_sum_cores(self, result):
+        total = sum(
+            s.counter("committed").value for s in result.core_stats
+        )
+        assert result.merged_core_stats().counter("committed").value == total
+
+    def test_predictor_accuracy_defaults_to_one_without_row(self, result):
+        assert result.predictor_accuracy() == 1.0
+
+
+class TestMaxCycles:
+    def test_watchdog_fires(self):
+        prog = build_program("pc", 2, 500, seed=0)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            simulate(SystemParams.quick(), prog, max_cycles=50)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_cycles(self):
+        prog = build_program("barnes", 2, 800, seed=2)
+        params = SystemParams.quick(atomic_mode=AtomicMode.ROW)
+        a = simulate(params, prog)
+        b = simulate(params, prog)
+        assert a.cycles == b.cycles
+        assert a.memory_snapshot == b.memory_snapshot
+
+    def test_single_core_program(self):
+        instrs = [load(0, pc=4, addr=640), store(1, pc=8, addr=704, value=2)]
+        prog = Program("tiny", [ThreadTrace(0, instrs)])
+        res = simulate(SystemParams.quick(num_cores=1), prog)
+        assert res.memory_snapshot.get(704) == 2

@@ -1,0 +1,114 @@
+"""Trace-inspection tests (and calibration checks for every profile)."""
+
+import pytest
+
+from repro.workloads.inspect import (
+    analyze_program,
+    analyze_trace,
+    classify_line,
+    shared_line_overlap,
+)
+from repro.workloads.profiles import ATOMIC_INTENSIVE, get_profile
+from repro.workloads.synthetic import (
+    ATOMIC_REGION_BASE_LINE,
+    HOT_BASE_LINE,
+    PRIVATE_BASE_LINE,
+    SHARED_READ_BASE_LINE,
+    build_program,
+)
+
+
+class TestClassifyLine:
+    def test_hot(self):
+        assert classify_line(HOT_BASE_LINE, 4) == "hot"
+        assert classify_line(HOT_BASE_LINE + 3, 4) == "hot"
+        assert classify_line(HOT_BASE_LINE + 4, 4) == "private"
+
+    def test_shared_read(self):
+        assert classify_line(SHARED_READ_BASE_LINE + 1, 4) == "shared_read"
+
+    def test_atomic_region(self):
+        assert classify_line(ATOMIC_REGION_BASE_LINE + 9, 4) == "atomic_region"
+
+    def test_private(self):
+        assert classify_line(PRIVATE_BASE_LINE + 5, 4) == "private"
+
+
+class TestAnalyze:
+    def test_empty_trace(self):
+        from repro.isa.instructions import ThreadTrace
+
+        stats = analyze_trace(ThreadTrace(0, []))
+        assert stats.instructions == 0
+
+    def test_intensity_matches_profile(self):
+        prog = build_program("sps", 2, 20000, seed=0)
+        stats = analyze_program(prog)[0]
+        assert stats.atomics_per_10k == pytest.approx(
+            get_profile("sps").atomics_per_10k, rel=0.25
+        )
+
+    def test_hot_fraction_matches_profile(self):
+        prog = build_program("pc", 2, 20000, seed=0)
+        stats = analyze_program(prog)[0]
+        assert stats.hot_atomic_fraction == pytest.approx(
+            get_profile("pc").hot_fraction, abs=0.1
+        )
+
+    def test_locality_gap_measured(self):
+        prog = build_program("cq", 2, 20000, seed=0)
+        stats = analyze_program(prog)[0]
+        assert stats.locality_pairs > 0
+        assert 4 < stats.mean_locality_gap < 25
+
+    def test_atomic_region_fraction(self):
+        prog = build_program("canneal", 2, 20000, seed=0)
+        stats = analyze_program(prog)[0]
+        assert stats.region_atomic_fraction > 0.8
+
+    def test_dep_distance_bounded_by_window(self):
+        prog = build_program("barnes", 1, 5000, seed=0)
+        stats = analyze_program(prog)[0]
+        # _RECENT_WINDOW is 24; young-atomic deps can reach a few further.
+        assert stats.max_dep_distance <= 40
+
+
+class TestOverlap:
+    def test_contended_program_shares_atomic_lines(self):
+        prog = build_program("pc", 4, 5000, seed=0)
+        assert shared_line_overlap(prog)
+
+    def test_private_program_shares_nothing(self):
+        profile = get_profile("barnes").with_overrides(
+            hot_fraction=0.0, store_before_atomic_prob=0.0, name="solo"
+        )
+        prog = build_program(profile, 4, 5000, seed=0)
+        assert not shared_line_overlap(prog)
+
+
+class TestAllProfilesCalibrated:
+    """Every registered atomic-intensive profile generates traces whose
+    measured statistics match its declared targets."""
+
+    @pytest.mark.parametrize("name", sorted(ATOMIC_INTENSIVE))
+    def test_intensity_calibration(self, name):
+        prog = build_program(name, 2, 30000, seed=3)
+        stats = analyze_program(prog)[0]
+        target = get_profile(name).atomics_per_10k
+        assert stats.atomics_per_10k == pytest.approx(target, rel=0.35), name
+
+    @pytest.mark.parametrize("name", sorted(ATOMIC_INTENSIVE))
+    def test_hot_fraction_calibration(self, name):
+        import math
+
+        prog = build_program(name, 2, 30000, seed=3)
+        stats = analyze_program(prog)[0]
+        profile = get_profile(name)
+        target = profile.hot_fraction
+        # Binomial sampling noise dominates for low-intensity profiles
+        # (fmm has ~10 atomics in 30k instructions): widen accordingly.
+        n = max(1, round(30000 * profile.atomics_per_10k / 1e4))
+        tolerance = max(0.12, 3 * math.sqrt(target * (1 - target) / n))
+        assert stats.hot_atomic_fraction == pytest.approx(
+            target, abs=tolerance
+        ), name

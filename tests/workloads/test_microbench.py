@@ -1,0 +1,73 @@
+"""Sec. II-A microbenchmark builder tests."""
+
+import pytest
+
+from repro.isa.instructions import AtomicOp, InstrClass
+from repro.workloads.microbench import VARIANTS, build_microbench
+
+
+class TestVariants:
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_microbench(AtomicOp.FAA, "weird")
+
+    def test_plain_faa_decomposes(self):
+        prog = build_microbench(AtomicOp.FAA, "plain", iterations=10)
+        trace = prog.traces[0]
+        assert trace.count(InstrClass.ATOMIC) == 0
+        assert trace.count(InstrClass.LOAD) == 10
+        assert trace.count(InstrClass.STORE) == 10
+
+    def test_lock_faa_is_atomic(self):
+        prog = build_microbench(AtomicOp.FAA, "lock", iterations=10)
+        assert prog.traces[0].count(InstrClass.ATOMIC) == 10
+
+    def test_swap_always_locks(self):
+        """xchg with a memory operand locks regardless of the prefix."""
+        prog = build_microbench(AtomicOp.SWAP, "plain", iterations=10)
+        assert prog.traces[0].count(InstrClass.ATOMIC) == 10
+
+    def test_mfence_variants_have_two_fences_per_iteration(self):
+        for variant in ("plain+mfence", "lock+mfence"):
+            prog = build_microbench(AtomicOp.CAS, variant, iterations=7)
+            assert prog.traces[0].count(InstrClass.MFENCE) == 14
+
+    def test_nofence_variants_have_no_fences(self):
+        for variant in ("plain", "lock"):
+            prog = build_microbench(AtomicOp.CAS, variant, iterations=7)
+            assert prog.traces[0].count(InstrClass.MFENCE) == 0
+
+
+class TestStructure:
+    def test_single_thread(self):
+        prog = build_microbench(AtomicOp.FAA, "plain", iterations=5)
+        assert prog.num_threads == 1
+
+    def test_validates(self):
+        for variant in VARIANTS:
+            build_microbench(AtomicOp.FAA, variant, iterations=5).validate()
+
+    def test_memory_op_depends_on_index_alu(self):
+        prog = build_microbench(AtomicOp.FAA, "lock", iterations=3)
+        trace = prog.traces[0]
+        for instr in trace.instructions:
+            if instr.cls is InstrClass.ATOMIC:
+                assert instr.src_deps
+                dep = trace[instr.src_deps[0]]
+                assert dep.cls is InstrClass.ALU
+
+    def test_addresses_span_large_array(self):
+        prog = build_microbench(AtomicOp.FAA, "lock", iterations=500)
+        lines = {
+            i.line
+            for i in prog.traces[0].instructions
+            if i.cls is InstrClass.ATOMIC
+        }
+        assert len(lines) > 300  # random over a 16k-line array
+
+    def test_deterministic(self):
+        a = build_microbench(AtomicOp.CAS, "plain", iterations=20, seed=3)
+        b = build_microbench(AtomicOp.CAS, "plain", iterations=20, seed=3)
+        assert [i.addr for i in a.traces[0].instructions] == [
+            i.addr for i in b.traces[0].instructions
+        ]

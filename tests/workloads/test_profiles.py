@@ -1,0 +1,76 @@
+"""Workload-profile registry tests."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ATOMIC_INTENSIVE,
+    FIGURE_ORDER,
+    NON_ATOMIC_INTENSIVE,
+    WORKLOADS,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_thirteen_atomic_intensive_workloads(self):
+        assert len(ATOMIC_INTENSIVE) == 13
+
+    def test_figure_order_covers_atomic_intensive(self):
+        assert set(FIGURE_ORDER) == set(ATOMIC_INTENSIVE)
+
+    def test_names_consistent(self):
+        for name, profile in WORKLOADS.items():
+            assert profile.name == name
+
+    def test_no_overlap_between_sets(self):
+        assert not set(ATOMIC_INTENSIVE) & set(NON_ATOMIC_INTENSIVE)
+
+    def test_get_profile_known(self):
+        assert get_profile("pc").name == "pc"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+
+class TestPaperSelectionCriterion:
+    def test_atomic_intensive_above_one_per_10k(self):
+        """Sec. V: selected workloads have >= 1 atomic per 10k instructions."""
+        for profile in ATOMIC_INTENSIVE.values():
+            assert profile.atomics_per_10k >= 1
+            assert profile.atomic_intensive
+
+    def test_non_intensive_below_one_per_10k(self):
+        for profile in NON_ATOMIC_INTENSIVE.values():
+            assert profile.atomics_per_10k < 1
+            assert not profile.atomic_intensive
+
+
+class TestCharacterization:
+    """Profiles must encode the paper's Sec. III characterization."""
+
+    def test_contended_trio_most_hot(self):
+        for name in ("tpcc", "sps", "pc"):
+            assert get_profile(name).hot_fraction >= 0.6
+
+    def test_non_contended_pair(self):
+        for name in ("canneal", "freqmine"):
+            assert get_profile(name).hot_fraction <= 0.1
+            assert get_profile(name).atomic_region_lines > 0
+
+    def test_locality_workloads(self):
+        for name in ("cq", "tatp", "barnes"):
+            assert get_profile(name).store_before_atomic_prob > 0
+
+    def test_young_dependent_workloads(self):
+        """streamcluster/raytrace: younger instructions depend on the atomic
+        (Fig. 4: few younger instructions start before a lazy atomic)."""
+        baseline = get_profile("pc").young_dep_on_atomic_prob
+        for name in ("streamcluster", "raytrace"):
+            assert get_profile(name).young_dep_on_atomic_prob > baseline
+
+    def test_with_overrides_returns_new_object(self):
+        p = get_profile("pc")
+        q = p.with_overrides(atomics_per_10k=1)
+        assert q.atomics_per_10k == 1
+        assert p.atomics_per_10k != 1

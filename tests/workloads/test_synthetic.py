@@ -1,0 +1,180 @@
+"""Trace-generator tests: determinism, statistics, structure."""
+
+import pytest
+
+from repro.isa.instructions import AtomicOp, InstrClass
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import (
+    ATOMIC_REGION_BASE_LINE,
+    HOT_BASE_LINE,
+    PRIVATE_BASE_LINE,
+    TraceGenerator,
+    build_program,
+)
+
+
+def gen_trace(name="pc", tid=0, n=3000, seed=0, threads=4, profile=None):
+    p = profile or get_profile(name)
+    return TraceGenerator(p, tid, threads, seed).generate(n)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = gen_trace(seed=7)
+        b = gen_trace(seed=7)
+        assert [i.pc for i in a.instructions] == [i.pc for i in b.instructions]
+        assert [i.addr for i in a.instructions] == [
+            i.addr for i in b.instructions
+        ]
+
+    def test_different_seed_different_trace(self):
+        a = gen_trace(seed=0)
+        b = gen_trace(seed=1)
+        assert [i.cls for i in a.instructions] != [i.cls for i in b.instructions]
+
+    def test_different_threads_different_streams(self):
+        a = gen_trace(tid=0)
+        b = gen_trace(tid=1)
+        assert [i.cls for i in a.instructions] != [i.cls for i in b.instructions]
+
+
+class TestStructure:
+    def test_trace_validates(self):
+        gen_trace().validate()
+
+    def test_exact_length(self):
+        assert len(gen_trace(n=1234)) == 1234
+
+    def test_atomic_intensity_near_target(self):
+        profile = get_profile("pc")
+        trace = gen_trace("pc", n=20000)
+        atomics = trace.count(InstrClass.ATOMIC)
+        measured = atomics / 20000 * 1e4
+        assert measured == pytest.approx(profile.atomics_per_10k, rel=0.25)
+
+    def test_low_intensity_profile(self):
+        trace = gen_trace("fmm", n=20000)
+        measured = trace.count(InstrClass.ATOMIC) / 20000 * 1e4
+        assert 1 <= measured <= 10
+
+    def test_class_mix_plausible(self):
+        profile = get_profile("barnes")
+        trace = gen_trace("barnes", n=20000)
+        loads = trace.count(InstrClass.LOAD) / 20000
+        stores = trace.count(InstrClass.STORE) / 20000
+        branches = trace.count(InstrClass.BRANCH) / 20000
+        assert loads == pytest.approx(profile.load_frac, abs=0.05)
+        # Locality stores add to the base store fraction.
+        assert stores >= profile.store_frac * 0.7
+        assert branches == pytest.approx(profile.branch_frac, abs=0.03)
+
+
+class TestAddressStreams:
+    def test_hot_atomics_hit_shared_hot_lines(self):
+        profile = get_profile("pc")
+        trace = gen_trace("pc", n=20000)
+        hot_lines = set(range(HOT_BASE_LINE, HOT_BASE_LINE + profile.num_hot_lines))
+        atomics = [i for i in trace.instructions if i.cls is InstrClass.ATOMIC]
+        hot = sum(1 for a in atomics if a.line in hot_lines)
+        assert hot / len(atomics) == pytest.approx(profile.hot_fraction, abs=0.1)
+
+    def test_hot_lines_shared_across_threads(self):
+        a = gen_trace("pc", tid=0, n=10000)
+        b = gen_trace("pc", tid=1, n=10000)
+        lines_a = {i.line for i in a.instructions if i.cls is InstrClass.ATOMIC}
+        lines_b = {i.line for i in b.instructions if i.cls is InstrClass.ATOMIC}
+        assert lines_a & lines_b
+
+    def test_private_regions_disjoint_across_threads(self):
+        a = gen_trace("barnes", tid=0, n=5000)
+        b = gen_trace("barnes", tid=1, n=5000)
+
+        def private_lines(trace):
+            return {
+                i.line
+                for i in trace.instructions
+                if i.is_memory and i.line >= PRIVATE_BASE_LINE
+            }
+
+        assert not (private_lines(a) & private_lines(b))
+
+    def test_atomic_region_used_when_configured(self):
+        trace = gen_trace("canneal", n=20000)
+        atomics = [i for i in trace.instructions if i.cls is InstrClass.ATOMIC]
+        in_region = [
+            a
+            for a in atomics
+            if ATOMIC_REGION_BASE_LINE <= a.line < PRIVATE_BASE_LINE
+        ]
+        assert len(in_region) > 0.8 * len(atomics)
+
+
+class TestLocalityPattern:
+    def test_store_precedes_atomic_same_addr(self):
+        trace = gen_trace("cq", n=20000)
+        instrs = trace.instructions
+        atomics = [i for i in instrs if i.cls is InstrClass.ATOMIC]
+        with_store = 0
+        for a in atomics:
+            window = instrs[max(0, a.seq - 25) : a.seq]
+            if any(
+                w.cls is InstrClass.STORE and w.addr == a.addr for w in window
+            ):
+                with_store += 1
+        profile = get_profile("cq")
+        assert with_store / len(atomics) >= profile.store_before_atomic_prob * 0.7
+
+    def test_gap_between_store_and_atomic(self):
+        """The locality store runs several instructions before its atomic
+        (a tight pair would make lazy execution lose nothing)."""
+        trace = gen_trace("cq", n=20000)
+        instrs = trace.instructions
+        gaps = []
+        for a in instrs:
+            if a.cls is not InstrClass.ATOMIC:
+                continue
+            for w in reversed(instrs[max(0, a.seq - 25) : a.seq]):
+                if w.cls is InstrClass.STORE and w.addr == a.addr:
+                    gaps.append(a.seq - w.seq)
+                    break
+        assert gaps
+        assert sum(gaps) / len(gaps) > 4
+
+    def test_no_locality_in_plain_profiles(self):
+        trace = gen_trace("pc", n=10000)
+        instrs = trace.instructions
+        for a in instrs:
+            if a.cls is not InstrClass.ATOMIC:
+                continue
+            prev = instrs[a.seq - 1] if a.seq else None
+            if prev is not None and prev.cls is InstrClass.STORE:
+                assert prev.addr != a.addr
+
+
+class TestProgramAssembly:
+    def test_build_program_metadata(self):
+        prog = build_program("pc", num_threads=4, instructions_per_thread=1000)
+        assert prog.num_threads == 4
+        assert prog.metadata["hot_lines"]
+        assert "warmup" in prog.metadata
+
+    def test_warmup_covers_all_threads(self):
+        prog = build_program("barnes", num_threads=4, instructions_per_thread=500)
+        warm = prog.metadata["warmup"]
+        assert len(warm["private"]) == 4
+        tids = [t for t, _, _ in warm["private"]]
+        assert tids == [0, 1, 2, 3]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_program("nosuch", 2, 100)
+
+    def test_atomic_ops_follow_weights(self):
+        trace = gen_trace("sps", n=30000)  # SWAP-heavy profile
+        ops = [
+            i.atomic_op
+            for i in trace.instructions
+            if i.cls is InstrClass.ATOMIC
+        ]
+        swaps = sum(1 for op in ops if op is AtomicOp.SWAP)
+        assert swaps / len(ops) > 0.3
