@@ -21,6 +21,7 @@ The package layers:
 * :mod:`repro.core`      — the out-of-order pipeline with unfenced atomics.
 * :mod:`repro.row`       — the paper's contribution: Rush or Wait.
 * :mod:`repro.sim`       — the multicore harness.
+* :mod:`repro.sanitize`  — protocol lint + runtime invariant sanitizers.
 * :mod:`repro.analysis`  — figure/table regeneration.
 """
 
@@ -40,6 +41,12 @@ from repro.row import (
     ContentionPredictor,
     RowMechanism,
     row_hardware_cost,
+)
+from repro.sanitize import (
+    ProtocolInvariantError,
+    SanitizerConfig,
+    UnknownEndpointError,
+    run_lint,
 )
 from repro.sim import MulticoreSimulator, RunResult, simulate
 from repro.workloads import (
@@ -69,6 +76,9 @@ __all__ = [
     "MulticoreSimulator",
     "PredictorKind",
     "Program",
+    "ProtocolInvariantError",
+    "SanitizerConfig",
+    "UnknownEndpointError",
     "RowMechanism",
     "RowParams",
     "RunResult",
@@ -81,6 +91,7 @@ __all__ = [
     "geomean",
     "get_profile",
     "row_hardware_cost",
+    "run_lint",
     "simulate",
     "__version__",
 ]

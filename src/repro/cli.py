@@ -7,6 +7,7 @@ figure     regenerate one of the paper's figures/tables
 microbench run the Sec. II-A fence microbenchmark
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
+lint       static protocol + convention lint over the simulator sources
 """
 
 from __future__ import annotations
@@ -59,7 +60,9 @@ def cmd_run(args) -> int:
     rows = []
     baseline = None
     for mode in modes:
-        result = simulate(params.with_atomic_mode(mode), program)
+        result = simulate(
+            params.with_atomic_mode(mode), program, sanitize=args.sanitize
+        )
         if baseline is None:
             baseline = result.cycles
         b = result.breakdown.means()
@@ -83,6 +86,28 @@ def cmd_run(args) -> int:
         )
     )
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.sanitize import run_lint
+
+    findings = run_lint(args.root)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [
+                {"path": f.path, "line": f.line, "rule": f.rule,
+                 "message": f.message}
+                for f in findings
+            ],
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding)
+        print(f"{len(findings)} finding(s)" if findings else "lint clean")
+    return 1 if findings else 0
 
 
 def cmd_figure(args) -> int:
@@ -230,8 +255,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=["eager", "lazy", "row"],
         choices=[m.value for m in AtomicMode],
     )
+    p_run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime protocol invariant checkers",
+    )
     _add_common(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_lint = sub.add_parser(
+        "lint", help="static protocol/convention lint (exit 1 on findings)"
+    )
+    p_lint.add_argument(
+        "--root", help="lint a tree other than the installed repro package"
+    )
+    p_lint.add_argument("--json", action="store_true", help="machine output")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))

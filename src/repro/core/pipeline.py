@@ -45,6 +45,7 @@ from repro.memory.image import MemoryImage
 from repro.memory.messages import Message, MsgKind
 from repro.row.detection import ContentionDetector, oracle_contended, stamp
 from repro.row.mechanism import RowMechanism
+from repro.sanitize.errors import ProtocolInvariantError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import EventEngine
@@ -774,7 +775,14 @@ class Core:
             self.rob.popleft()
             self.inflight_by_seq.pop(head.seq, None)
             if head.cls in (InstrClass.LOAD, InstrClass.ATOMIC):
-                assert self.lq and self.lq[0] is head
+                if not self.lq or self.lq[0] is not head:
+                    raise ProtocolInvariantError(
+                        "lq-commit-alignment",
+                        f"core {self.core_id} committing seq {head.seq} but "
+                        f"it is not at the load-queue head",
+                        line=head.line,
+                        cycle=now,
+                    )
                 self.lq.popleft()
                 self.load_values[head.seq] = head.value
             self.stats.counter("committed").add()
@@ -831,8 +839,14 @@ class Core:
 
     def _unlock_atomic(self, dyn: DynInstr, now: int) -> None:
         entry = dyn.aq_entry
-        assert entry is not None
-        assert self.aq and self.aq[0] is entry, "AQ/SB head misalignment"
+        if entry is None or not self.aq or self.aq[0] is not entry:
+            raise ProtocolInvariantError(
+                "aq-sb-alignment",
+                f"core {self.core_id} unlocking seq {dyn.seq} but its AQ "
+                f"entry is not at the Atomic Queue head",
+                line=dyn.line,
+                cycle=now,
+            )
         self.aq.popleft()
         dyn.unlock_cycle = now
         if entry.locked:  # far atomics never lock a line

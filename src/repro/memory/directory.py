@@ -22,6 +22,7 @@ from repro.common.stats import StatGroup
 from repro.isa.instructions import apply_atomic
 from repro.memory.cache import SetAssocCache
 from repro.memory.messages import Message, MsgKind
+from repro.sanitize.errors import ProtocolInvariantError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.image import MemoryImage
@@ -140,7 +141,14 @@ class DirectoryBank:
             self._block(e, lambda: self._add_sharer(e, req))
         elif e.state == "M":
             owner = e.owner
-            assert owner is not None
+            if owner is None:
+                raise ProtocolInvariantError(
+                    "dir-owner",
+                    f"directory {self.node} has an M entry with no owner "
+                    f"while serving a GetS",
+                    line=msg.line,
+                    cycle=self.engine.now,
+                )
             if owner == req:
                 # Degenerate re-request (e.g. raced with own writeback).
                 delay = self._llc_fetch_delay(msg.line)
@@ -200,7 +208,14 @@ class DirectoryBank:
             self._block(e, lambda: self._become_owner(e, req))
         elif e.state == "M":
             owner = e.owner
-            assert owner is not None
+            if owner is None:
+                raise ProtocolInvariantError(
+                    "dir-owner",
+                    f"directory {self.node} has an M entry with no owner "
+                    f"while serving a GetX",
+                    line=msg.line,
+                    cycle=self.engine.now,
+                )
             if owner == req:
                 delay = self._llc_fetch_delay(msg.line)
                 self._grant_from_llc(msg, exclusive=True, delay=delay)
@@ -328,7 +343,14 @@ class DirectoryBank:
                 )
         elif e.state == "M":
             owner = e.owner
-            assert owner is not None
+            if owner is None:
+                raise ProtocolInvariantError(
+                    "dir-owner",
+                    f"directory {self.node} has an M entry with no owner "
+                    f"while serving an AMO",
+                    line=msg.line,
+                    cycle=self.engine.now,
+                )
             e.state = "B"
             e.pending_acks = 1
             e.on_acks_done = lambda: self._finish_amo(e, msg)
@@ -348,7 +370,14 @@ class DirectoryBank:
             raise RuntimeError(f"AMO in unexpected state {e.state}")
 
     def _finish_amo(self, e: DirEntry, msg: Message) -> None:
-        assert self.image is not None
+        if self.image is None:
+            raise ProtocolInvariantError(
+                "amo-image",
+                f"directory {self.node} completed an AMO without a memory "
+                f"image to execute it against",
+                line=msg.line,
+                cycle=self.engine.now,
+            )
         old = self.image.read(msg.amo_addr)
         new, loaded = apply_atomic(
             msg.amo_op, old, msg.amo_operand, msg.amo_expected

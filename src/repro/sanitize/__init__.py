@@ -1,0 +1,39 @@
+"""Correctness tooling: static protocol lint + runtime invariant sanitizers.
+
+Three layers (see ``docs/sanitizer.md``):
+
+1. static protocol lint — AST extraction of the (state × MsgKind)
+   transition table, exhaustiveness and permission-mutation checks;
+2. runtime sanitizers — opt-in SWMR / directory-agreement / FIFO /
+   liveness / atomicity / data-value invariant checkers that wrap a live
+   system and raise :class:`ProtocolInvariantError` with a message trace;
+3. convention lint — no wall clock, no unseeded randomness, int-only
+   cycle arithmetic, every ``receive()`` rejects unknown kinds.
+
+Run the static layers with ``python -m repro lint``; enable the runtime
+layer with ``simulate(..., sanitize=True)`` or ``python -m repro run
+--sanitize``.
+"""
+
+from repro.sanitize.errors import (
+    ProtocolInvariantError,
+    SanitizeError,
+    UnknownEndpointError,
+)
+from repro.sanitize.lint import LintFinding, run_lint
+from repro.sanitize.runtime import (
+    SanitizerConfig,
+    SanitizerHarness,
+    attach_sanitizers,
+)
+
+__all__ = [
+    "LintFinding",
+    "ProtocolInvariantError",
+    "SanitizeError",
+    "SanitizerConfig",
+    "SanitizerHarness",
+    "UnknownEndpointError",
+    "attach_sanitizers",
+    "run_lint",
+]

@@ -1,0 +1,181 @@
+"""Codebase convention lint for the simulator sources.
+
+Four repo-wide rules, all enforced by pure AST inspection:
+
+``wallclock``       simulation code must never read the host clock —
+                    importing :mod:`time` or :mod:`datetime` makes runs
+                    irreproducible.
+``unseeded-random`` all randomness flows through seeded
+                    ``np.random.default_rng(seed)`` generators (see
+                    ``common/rng.py``, the one sanctioned factory); the
+                    stdlib ``random`` module and numpy's global RNG state
+                    are forbidden.
+``float-cycles``    cycle arithmetic is integer-only: scheduling a float
+                    delay (a float literal or a true division feeding
+                    ``schedule``/``schedule_in``) silently breaks event
+                    ordering determinism.
+``receive-reject``  every ``receive()`` that dispatches on ``msg.kind``
+                    must end in a terminal ``else`` that raises, so an
+                    unrouted message kind can never be dropped silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.sanitize.lint import (
+    LintFinding,
+    attribute_chain,
+    iter_py_files,
+    parse_file,
+    rel,
+)
+
+WALLCLOCK_MODULES = ("time", "datetime")
+# The sanctioned seeded-RNG factory module may mention numpy.random freely.
+RANDOM_EXEMPT = ("common/rng.py",)
+# numpy.random attributes that construct explicitly-seeded generators.
+SEEDED_FACTORIES = ("default_rng", "Generator", "SeedSequence", "PCG64", "Philox")
+SCHEDULE_METHODS = ("schedule", "schedule_in")
+
+
+def run(root: Path) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    random_exempt = {str(root / p) for p in RANDOM_EXEMPT}
+    for path in iter_py_files(root):
+        tree = parse_file(path)
+        relpath = rel(path, root)
+        exempt = str(path) in random_exempt
+        findings.extend(_check_imports(tree, relpath, exempt))
+        if not exempt:
+            findings.extend(_check_numpy_random(tree, relpath))
+        findings.extend(_check_cycle_arithmetic(tree, relpath))
+        findings.extend(_check_receive_reject(tree, relpath))
+    return findings
+
+
+def _check_imports(
+    tree: ast.Module, relpath: str, random_exempt: bool
+) -> list[LintFinding]:
+    findings = []
+    for node in ast.walk(tree):
+        roots: list[str] = []
+        if isinstance(node, ast.Import):
+            roots = [alias.name.split(".")[0] for alias in node.names]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            roots = [node.module.split(".")[0]]
+        for mod in roots:
+            if mod in WALLCLOCK_MODULES:
+                findings.append(LintFinding(
+                    relpath, node.lineno, "wallclock",
+                    f"importing {mod!r}: simulation code must never read "
+                    f"the host clock (cycles come from the event engine)",
+                ))
+            elif mod == "random" and not random_exempt:
+                findings.append(LintFinding(
+                    relpath, node.lineno, "unseeded-random",
+                    "importing stdlib 'random': use a seeded generator "
+                    "from repro.common.rng instead",
+                ))
+    return findings
+
+
+def _check_numpy_random(tree: ast.Module, relpath: str) -> list[LintFinding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attribute_chain(node.func)
+        if (
+            chain is None
+            or len(chain) != 3
+            or chain[0] not in ("np", "numpy")
+            or chain[1] != "random"
+        ):
+            continue
+        attr = chain[2]
+        if attr not in SEEDED_FACTORIES:
+            findings.append(LintFinding(
+                relpath, node.lineno, "unseeded-random",
+                f"np.random.{attr}(...) uses numpy's global RNG state; "
+                f"construct a seeded generator via repro.common.rng",
+            ))
+        elif attr == "default_rng" and not (node.args or node.keywords):
+            findings.append(LintFinding(
+                relpath, node.lineno, "unseeded-random",
+                "np.random.default_rng() without a seed is entropy-seeded; "
+                "derive the seed via repro.common.rng",
+            ))
+    return findings
+
+
+def _check_cycle_arithmetic(tree: ast.Module, relpath: str) -> list[LintFinding]:
+    findings = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SCHEDULE_METHODS
+            and node.args
+        ):
+            continue
+        for sub in ast.walk(node.args[0]):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+                findings.append(LintFinding(
+                    relpath, sub.lineno, "float-cycles",
+                    f"float literal {sub.value!r} in a "
+                    f"{node.func.attr}() delay: cycle arithmetic must stay "
+                    f"integer (floats break event-order determinism)",
+                ))
+            elif isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                findings.append(LintFinding(
+                    relpath, sub.lineno, "float-cycles",
+                    f"true division in a {node.func.attr}() delay produces "
+                    f"a float cycle count; use // instead",
+                ))
+    return findings
+
+
+def _check_receive_reject(tree: ast.Module, relpath: str) -> list[LintFinding]:
+    findings = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.FunctionDef) or fn.name != "receive":
+            continue
+        for arms, final_orelse in _if_chains(fn):
+            dispatches_kind = any(
+                isinstance(sub, ast.Attribute) and sub.attr == "kind"
+                for arm in arms
+                for sub in ast.walk(arm.test)
+            )
+            if not dispatches_kind or len(arms) < 2:
+                continue
+            raises = any(
+                isinstance(sub, ast.Raise)
+                for stmt in final_orelse
+                for sub in ast.walk(stmt)
+            )
+            if not raises:
+                findings.append(LintFinding(
+                    relpath, arms[0].lineno, "receive-reject",
+                    "receive() dispatches on msg.kind without a terminal "
+                    "else that raises: an unrouted message kind would be "
+                    "dropped silently",
+                ))
+    return findings
+
+
+def _if_chains(fn: ast.FunctionDef) -> list[tuple[list[ast.If], list[ast.stmt]]]:
+    chains = []
+    elif_nodes: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If) or id(node) in elif_nodes:
+            continue
+        arms = [node]
+        cur = node
+        while len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
+            cur = cur.orelse[0]
+            elif_nodes.add(id(cur))
+            arms.append(cur)
+        chains.append((arms, cur.orelse))
+    return chains

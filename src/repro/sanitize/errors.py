@@ -1,0 +1,86 @@
+"""Typed errors raised by the correctness tooling.
+
+Every invariant the simulator used to guard with a bare ``assert`` (which
+``python -O`` strips) is raised as a :class:`ProtocolInvariantError` instead,
+so a protocol bug aborts the run with a reconstructable message trace under
+any interpreter flags.  The runtime sanitizers in
+:mod:`repro.sanitize.runtime` raise the same type, tagged with the invariant
+that fired.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memory.messages import Message
+
+
+class SanitizeError(RuntimeError):
+    """Base class for every error the sanitize subsystem raises."""
+
+
+class ProtocolInvariantError(SanitizeError):
+    """A coherence/pipeline invariant was violated.
+
+    invariant -- short identifier of the broken invariant (e.g. ``"swmr"``,
+                 ``"dir-agreement"``, ``"rmw-atomicity"``).
+    detail    -- human-readable description of what went wrong.
+    line      -- cacheline index the violation concerns, if any.
+    cycle     -- simulation cycle at which the violation was detected.
+    trace     -- reconstructed recent-message trace for the offending line
+                 (newest last), empty when no recorder was attached.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        line: int | None = None,
+        cycle: int | None = None,
+        trace: Iterable[str] = (),
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.line = line
+        self.cycle = cycle
+        self.trace = tuple(trace)
+        super().__init__(str(self))
+
+    def __str__(self) -> str:
+        where = []
+        if self.line is not None:
+            where.append(f"line {self.line:#x}")
+        if self.cycle is not None:
+            where.append(f"cycle {self.cycle}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        out = f"[{self.invariant}] {self.detail}{suffix}"
+        if self.trace:
+            out += "\n  recent message trace (oldest first):\n" + "\n".join(
+                f"    {entry}" for entry in self.trace
+            )
+        return out
+
+
+class UnknownEndpointError(SanitizeError, KeyError):
+    """A message was sent to a node with no registered receive handler.
+
+    Subclasses :class:`KeyError` so callers that guarded the old bare
+    dictionary lookup keep working.
+    """
+
+    def __init__(
+        self, node: int, *, to_directory: bool, msg: "Message | None" = None
+    ) -> None:
+        self.node = node
+        self.to_directory = to_directory
+        self.msg = msg
+        kind = "directory" if to_directory else "core"
+        detail = f"message addressed to unregistered {kind} endpoint {node}"
+        if msg is not None:
+            detail += f": {msg!r}"
+        super().__init__(detail)
+
+    def __str__(self) -> str:
+        return self.args[0]

@@ -1,0 +1,85 @@
+"""Static lint driver: protocol-table exhaustiveness + codebase conventions.
+
+``run_lint(root)`` parses the simulator sources under ``root`` (default: the
+installed ``repro`` package) with :mod:`ast` — nothing is imported or
+executed — and returns a sorted list of :class:`LintFinding`.  The CLI
+(``python -m repro lint``) exits non-zero when any finding is reported, so
+CI can gate on a clean tree.
+
+Two rule families live in sibling modules:
+
+* :mod:`repro.sanitize.protocol_lint` — extracts the
+  (controller state × MsgKind) transition table from the coherence state
+  machines and reports unrouted message kinds, unhandled (state, event)
+  pairs, unknown states, and permission mutations outside the protocol.
+* :mod:`repro.sanitize.convention_lint` — repo-wide conventions: no
+  wall-clock time, no unseeded randomness, int-only cycle arithmetic, and
+  every ``receive()`` must reject unknown message kinds.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One lint diagnostic, ordered for stable reporting."""
+
+    path: str  # path relative to the linted root
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def package_root() -> Path:
+    """The ``repro`` package directory this module was imported from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def iter_py_files(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def parse_file(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def rel(path: Path, root: Path) -> str:
+    try:
+        return str(path.relative_to(root))
+    except ValueError:  # pragma: no cover - absolute fallback
+        return str(path)
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name-rooted expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def run_lint(root: Path | str | None = None) -> list[LintFinding]:
+    """Run every lint family over the tree rooted at ``root``."""
+    from repro.sanitize import convention_lint, protocol_lint
+
+    base = Path(root) if root is not None else package_root()
+    findings: list[LintFinding] = []
+    findings.extend(protocol_lint.run(base))
+    findings.extend(convention_lint.run(base))
+    return sorted(findings)

@@ -1,0 +1,389 @@
+"""Protocol-table lint: exhaustiveness of the coherence state machines.
+
+Pure :mod:`ast` analysis of ``memory/messages.py``, ``memory/directory.py``
+and ``memory/controller.py``.  The extracted model is the
+(state × MsgKind) transition table implied by the dispatch code:
+
+* every ``MsgKind`` member must be routed by *some* ``receive()``
+  (``unrouted-msgkind`` / ``unknown-msgkind``);
+* every if/elif chain that branches on a protocol state must either cover
+  the full state alphabet, end in a rejecting/terminal ``else``, or be a
+  single-arm guard (``unhandled-state-event`` / ``unknown-state``);
+* cache permission bits (``<controller>.state[line] = "E"/"M"``) may only
+  be granted by controller methods that demonstrably inspected their own
+  bookkeeping, and never from outside the protocol modules
+  (``permission-mutation``).  The multicore warmup
+  (``sim/multicore.py``) is the single sanctioned exception: it seeds
+  permissions before cycle zero, while no transaction can be in flight.
+
+The state alphabet itself is *derived*, not hard-coded: every string
+constant ever stored into a ``.state`` slot in the module (including
+dataclass defaults) is a state; anything compared against but never stored
+is reported as unknown/unreachable.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.sanitize.lint import (
+    LintFinding,
+    attribute_chain,
+    iter_py_files,
+    parse_file,
+    rel,
+)
+
+# The one module allowed to poke controller permission bits from outside
+# the protocol: warmup runs before cycle 0, with no transactions in flight.
+PERMISSION_ALLOWLIST = ("sim/multicore.py",)
+
+_QUERY_METHODS = ("get", "pop", "setdefault", "keys", "values", "items")
+
+
+def run(root: Path) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    messages = root / "memory" / "messages.py"
+    directory = root / "memory" / "directory.py"
+    controller = root / "memory" / "controller.py"
+
+    missing = [p for p in (messages, directory, controller) if not p.is_file()]
+    if missing:
+        return [
+            LintFinding(rel(p, root), 1, "protocol-source-missing",
+                        "expected protocol module not found")
+            for p in missing
+        ]
+
+    members = _enum_members(parse_file(messages))
+    dispatched: dict[str, int] = {}
+    for path, class_name in (
+        (directory, "DirectoryBank"),
+        (controller, "PrivateCacheController"),
+    ):
+        tree = parse_file(path)
+        relpath = rel(path, root)
+        for name, line in _dispatched_kinds(tree, class_name):
+            dispatched.setdefault(name, line)
+            if name not in members:
+                findings.append(LintFinding(
+                    relpath, line, "unknown-msgkind",
+                    f"{class_name}.receive dispatches MsgKind.{name}, "
+                    f"which is not a MsgKind member",
+                ))
+        findings.extend(_check_state_machine(tree, class_name, relpath))
+
+    for name, line in sorted(members.items()):
+        if name not in dispatched:
+            findings.append(LintFinding(
+                rel(messages, root), line, "unrouted-msgkind",
+                f"MsgKind.{name} is dispatched by neither "
+                f"DirectoryBank.receive nor PrivateCacheController.receive",
+            ))
+
+    findings.extend(_check_permission_mutation(root, parse_file(controller)))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# MsgKind routing
+# ----------------------------------------------------------------------
+
+def _enum_members(tree: ast.Module) -> dict[str, int]:
+    """MsgKind member name -> definition line."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MsgKind":
+            return {
+                stmt.targets[0].id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            }
+    return {}
+
+
+def _class_def(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _dispatched_kinds(tree: ast.Module, class_name: str) -> list[tuple[str, int]]:
+    """Every ``MsgKind.X`` referenced inside ``class_name.receive``."""
+    cls = _class_def(tree, class_name)
+    if cls is None:
+        return []
+    out: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "receive":
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Attribute):
+                    chain = attribute_chain(node)
+                    if chain is not None and len(chain) == 2 and chain[0] == "MsgKind":
+                        out.append((chain[1], node.lineno))
+    return out
+
+
+# ----------------------------------------------------------------------
+# State-machine exhaustiveness
+# ----------------------------------------------------------------------
+
+def _is_state_store_target(tgt: ast.expr) -> bool:
+    """``x.state = ...`` or ``x.state[line] = ...``."""
+    if isinstance(tgt, ast.Attribute) and tgt.attr == "state":
+        return True
+    return (
+        isinstance(tgt, ast.Subscript)
+        and isinstance(tgt.value, ast.Attribute)
+        and tgt.value.attr == "state"
+    )
+
+
+def _state_alphabet(tree: ast.Module) -> set[str]:
+    """Every string constant ever stored into a ``.state`` slot."""
+    alpha: set[str] = set()
+    for node in ast.walk(tree):
+        value = None
+        if isinstance(node, ast.Assign) and any(
+            _is_state_store_target(t) for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "state"
+        ):
+            value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            alpha.add(value.value)
+    return alpha
+
+
+def _state_var_names(fn: ast.FunctionDef) -> set[str]:
+    """Local names bound from ``<x>.state.get(...)`` / ``.pop(...)``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr in ("get", "pop")
+            and isinstance(node.value.func.value, ast.Attribute)
+            and node.value.func.value.attr == "state"
+        ):
+            names.add(node.targets[0].id)
+    return names
+
+
+def _is_state_expr(node: ast.expr, state_vars: set[str]) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "state":
+        return True
+    return isinstance(node, ast.Name) and node.id in state_vars
+
+
+def _state_compares(
+    test: ast.expr, state_vars: set[str]
+) -> list[tuple[ast.cmpop, list[str], ast.Compare]]:
+    """Comparisons of a state expression against string constants."""
+    out = []
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and _is_state_expr(node.left, state_vars)
+        ):
+            comp = node.comparators[0]
+            values: list[str] = []
+            if isinstance(comp, ast.Constant) and isinstance(comp.value, str):
+                values = [comp.value]
+            elif isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+                values = [
+                    e.value
+                    for e in comp.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+            if values:
+                out.append((node.ops[0], values, node))
+    return out
+
+
+def _if_chains(fn: ast.FunctionDef) -> list[tuple[list[ast.If], list[ast.stmt]]]:
+    """Every if/elif chain in ``fn`` as (arms, final-orelse)."""
+    chains = []
+    elif_nodes: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If) or id(node) in elif_nodes:
+            continue
+        arms = [node]
+        cur = node
+        while len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
+            cur = cur.orelse[0]
+            elif_nodes.add(id(cur))
+            arms.append(cur)
+        chains.append((arms, cur.orelse))
+    return chains
+
+
+def _check_state_machine(
+    tree: ast.Module, class_name: str, relpath: str
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    alphabet = _state_alphabet(tree)
+    cls = _class_def(tree, class_name)
+    if cls is None or not alphabet:
+        return [LintFinding(
+            relpath, 1, "protocol-source-missing",
+            f"class {class_name} or its state alphabet not found",
+        )]
+    for fn in cls.body:
+        if not isinstance(fn, ast.FunctionDef):
+            continue
+        state_vars = _state_var_names(fn)
+        for arms, final_orelse in _if_chains(fn):
+            matched: set[str] = set()
+            involves_state = False
+            for arm in arms:
+                for op, values, cnode in _state_compares(arm.test, state_vars):
+                    involves_state = True
+                    for value in values:
+                        if value not in alphabet:
+                            findings.append(LintFinding(
+                                relpath, cnode.lineno, "unknown-state",
+                                f"{class_name}.{fn.name} tests state "
+                                f"{value!r}, which no transition ever "
+                                f"assigns (alphabet: "
+                                f"{', '.join(sorted(alphabet))})",
+                            ))
+                        if isinstance(op, (ast.Eq, ast.In)):
+                            matched.add(value)
+            if not involves_state:
+                continue
+            if final_orelse:
+                continue  # terminal else rejects/handles the remainder
+            if len(arms) == 1:
+                continue  # single-arm guard (early return / queue / raise)
+            last = arms[-1]
+            last_guards = _state_compares(last.test, state_vars)
+            if any(
+                isinstance(op, (ast.NotEq, ast.NotIn)) for op, _, _ in last_guards
+            ) and any(isinstance(s, ast.Raise) for s in last.body):
+                continue  # final arm is an explicit not-in-state rejection
+            missing = alphabet - matched
+            if missing:
+                findings.append(LintFinding(
+                    relpath, arms[0].lineno, "unhandled-state-event",
+                    f"{class_name}.{fn.name} branches on the protocol state "
+                    f"but handles only {{{', '.join(sorted(matched))}}} with "
+                    f"no terminal else: state(s) "
+                    f"{{{', '.join(sorted(missing))}}} would fall through "
+                    f"silently",
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Permission mutation
+# ----------------------------------------------------------------------
+
+def _grants_write_permission(node: ast.Assign) -> bool:
+    """``<x>.state[line] = "E" | "M"`` — granting write permission."""
+    return (
+        any(
+            isinstance(t, ast.Subscript)
+            and isinstance(t.value, ast.Attribute)
+            and t.value.attr == "state"
+            for t in node.targets
+        )
+        and isinstance(node.value, ast.Constant)
+        and node.value.value in ("E", "M")
+    )
+
+
+def _reads_own_bookkeeping(fn: ast.FunctionDef) -> bool:
+    """Did the method inspect ``self.state`` / ``self.mshrs`` before
+    granting permission?  Store-side subscripts do not count."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr == "mshrs":
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _QUERY_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == "state"
+        ):
+            return True
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "state"
+        ):
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(c, ast.Attribute) and c.attr == "state"
+            for c in node.comparators
+        ):
+            return True  # membership test: `line in self.state`
+    return False
+
+
+def _check_permission_mutation(
+    root: Path, controller_tree: ast.Module
+) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+
+    cls = _class_def(controller_tree, "PrivateCacheController")
+    if cls is not None:
+        relpath = rel(root / "memory" / "controller.py", root)
+        for fn in cls.body:
+            if not isinstance(fn, ast.FunctionDef):
+                continue
+            grants = [
+                n for n in ast.walk(fn)
+                if isinstance(n, ast.Assign) and _grants_write_permission(n)
+            ]
+            if grants and not _reads_own_bookkeeping(fn):
+                findings.append(LintFinding(
+                    relpath, grants[0].lineno, "permission-mutation",
+                    f"PrivateCacheController.{fn.name} grants write "
+                    f"permission without inspecting self.state/self.mshrs "
+                    f"first — it cannot know it holds the line",
+                ))
+
+    protocol_files = {
+        str(root / "memory" / "controller.py"),
+        str(root / "memory" / "directory.py"),
+    }
+    allowed = {str(root / p) for p in PERMISSION_ALLOWLIST}
+    for path in iter_py_files(root):
+        if str(path) in protocol_files or str(path) in allowed:
+            continue
+        tree = parse_file(path)
+        for node in ast.walk(tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            for tgt in targets:
+                if (
+                    isinstance(tgt, ast.Subscript)
+                    and isinstance(tgt.value, ast.Attribute)
+                    and tgt.value.attr == "state"
+                ):
+                    findings.append(LintFinding(
+                        rel(path, root), node.lineno, "permission-mutation",
+                        "cache permission bits mutated outside the "
+                        "coherence protocol (only the controller/directory "
+                        "state machines and the pre-cycle-0 warmup may do "
+                        "this)",
+                    ))
+    return findings

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.memory.interconnect import MeshNetwork
 from repro.memory.messages import Message
+from repro.sanitize.errors import UnknownEndpointError
 
 
 class DeadlockError(RuntimeError):
@@ -61,10 +62,10 @@ class EventEngine:
     def send(self, msg: Message, to_directory: bool) -> None:
         """Route a message through the mesh and deliver it as an event."""
         arrival = self.network.delivery_cycle(msg.src, msg.dst, self.now)
-        if to_directory:
-            handler = self._dir_endpoints[msg.dst]
-        else:
-            handler = self._endpoints[msg.dst]
+        registry = self._dir_endpoints if to_directory else self._endpoints
+        handler = registry.get(msg.dst)
+        if handler is None:
+            raise UnknownEndpointError(msg.dst, to_directory=to_directory, msg=msg)
         # Deliver strictly in the future so a handler never runs mid-cycle
         # for the component that sent it.
         self.schedule(max(arrival, self.now + 1), lambda: handler(msg))

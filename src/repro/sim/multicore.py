@@ -77,9 +77,20 @@ class RunResult:
 
 
 class MulticoreSimulator:
-    """One fully assembled CMP executing one program."""
+    """One fully assembled CMP executing one program.
 
-    def __init__(self, params: SystemParams, program: Program) -> None:
+    ``sanitize`` attaches the runtime invariant checkers from
+    :mod:`repro.sanitize.runtime` (pass ``True`` for the defaults or a
+    :class:`~repro.sanitize.runtime.SanitizerConfig` to pick checkers).
+    Off by default: an unsanitized simulator runs the exact seed bytecode.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        program: Program,
+        sanitize: "bool | object" = False,
+    ) -> None:
         params.validate()
         if program.num_threads > params.num_cores:
             raise ValueError(
@@ -111,6 +122,12 @@ class MulticoreSimulator:
             core = Core(cid, params, trace, self.engine, self.controllers[cid], self.image)
             self.cores.append(core)
         self._apply_warmup()
+        self.sanitizer = None
+        if sanitize:
+            from repro.sanitize.runtime import SanitizerConfig, attach_sanitizers
+
+            config = sanitize if isinstance(sanitize, SanitizerConfig) else None
+            self.sanitizer = attach_sanitizers(self, config)
 
     def _apply_warmup(self) -> None:
         """Pre-install steady-state-hot regions declared by the workload.
@@ -182,6 +199,8 @@ class MulticoreSimulator:
                     f"{exc} — program {self.program.name!r}, "
                     f"cores done: {[c.done for c in cores]}"
                 ) from exc
+        if self.sanitizer is not None:
+            self.sanitizer.final_check()
         breakdown = AtomicLatencyBreakdown()
         for core in cores:
             breakdown.merge(core.breakdown)
@@ -202,6 +221,12 @@ class MulticoreSimulator:
         )
 
 
-def simulate(params: SystemParams, program: Program, max_cycles: int = 50_000_000) -> RunResult:
+def simulate(
+    params: SystemParams,
+    program: Program,
+    max_cycles: int = 50_000_000,
+    sanitize: "bool | object" = False,
+) -> RunResult:
     """Convenience one-shot: build the system and run the program."""
-    return MulticoreSimulator(params, program).run(max_cycles=max_cycles)
+    sim = MulticoreSimulator(params, program, sanitize=sanitize)
+    return sim.run(max_cycles=max_cycles)

@@ -117,3 +117,42 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "lazy/eager" in out
+
+
+class TestSanitizeFlag:
+    def test_parser_accepts_sanitize(self):
+        args = build_parser().parse_args(["run", "pc", "--sanitize"])
+        assert args.sanitize
+
+    def test_sanitize_off_by_default(self):
+        args = build_parser().parse_args(["run", "pc"])
+        assert not args.sanitize
+
+    def test_sanitized_run_smoke(self, capsys):
+        rc = main(
+            [
+                "run",
+                "cq",
+                "--sanitize",
+                "--modes",
+                "eager",
+                "--config",
+                "quick",
+                "--threads",
+                "2",
+                "--instructions",
+                "400",
+            ]
+        )
+        assert rc == 0
+        assert "cycles" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_parser_accepts_lint(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.fn.__name__ == "cmd_lint"
+
+    def test_lint_smoke(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out

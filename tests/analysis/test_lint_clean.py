@@ -1,0 +1,129 @@
+"""The repo's own tree is lint-clean — and the lint catches seeded defects.
+
+The second half mutates a copy of the package the way real protocol bugs
+would (deleting a dispatch arm, deleting a defensive else, scheduling a
+float delay) and asserts the corresponding rule fires, so the lint is
+demonstrably load-bearing rather than vacuously green.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import repro
+from repro.cli import main
+from repro.sanitize import run_lint
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+class TestOwnTreeClean:
+    def test_run_lint_reports_nothing(self):
+        assert run_lint() == []
+
+    def test_cli_exit_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_cli_json_output(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+
+def mutate(tmp_path: Path, filename: str, old: str, new: str) -> Path:
+    root = tmp_path / "repro"
+    if not root.exists():
+        shutil.copytree(SRC, root)
+    path = root / filename
+    text = path.read_text()
+    assert old in text, f"seed-defect anchor missing from {filename}"
+    path.write_text(text.replace(old, new))
+    return root
+
+
+class TestSeededDefects:
+    def test_deleted_dispatch_arm_is_unrouted(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/directory.py",
+            "        elif msg.kind is MsgKind.PUTM:\n"
+            "            self._handle_putm(msg)\n",
+            "",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "unrouted-msgkind" in rules
+        findings = [f for f in run_lint(root) if f.rule == "unrouted-msgkind"]
+        assert any("PUTM" in f.message for f in findings)
+
+    def test_deleted_defensive_else_is_unhandled_state(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/directory.py",
+            '        else:  # pragma: no cover - defensive\n'
+            '            raise RuntimeError(f"GETS in unexpected state '
+            '{e.state}")\n',
+            "",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "unhandled-state-event"
+        ]
+        assert findings, "deleting the else must leave state B unhandled"
+        assert any("_do_gets" in f.message and "B" in f.message
+                   for f in findings)
+
+    def test_float_delay_is_float_cycles(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "self.engine.schedule_in(1, replay)",
+            "self.engine.schedule_in(1.5, replay)",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "float-cycles" in rules
+
+    def test_receive_without_reject_flagged(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            '        else:  # pragma: no cover - defensive\n'
+            '            raise ValueError(f"core {self.core_id} cannot '
+            'handle {msg!r}")\n',
+            "",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "receive-reject" in rules
+
+    def test_wallclock_import_flagged(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "sim/engine.py",
+            "import heapq",
+            "import heapq\nimport time",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "wallclock" in rules
+
+    def test_rogue_permission_grant_flagged(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "row/mechanism.py",
+            "from __future__ import annotations",
+            "from __future__ import annotations\n\n"
+            "def _backdoor(ctrl, line):\n"
+            "    ctrl.state[line] = 'M'\n",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "permission-mutation" in rules
+
+    def test_cli_exit_one_on_findings(self, tmp_path, capsys):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "self.engine.schedule_in(1, replay)",
+            "self.engine.schedule_in(1.5, replay)",
+        )
+        assert main(["lint", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "float-cycles" in out and "finding" in out

@@ -1,0 +1,75 @@
+"""Property: the runtime sanitizers are observers, not participants.
+
+Random multicore runs with every checker enabled must (a) complete with
+zero invariant violations — the protocol really maintains SWMR, directory
+agreement, FIFO order and RMW atomicity under arbitrary contention — and
+(b) produce *identical* timing and statistics to the same run with the
+sanitizers off, proving the checkers never perturb the simulation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.sim.multicore import simulate
+from repro.workloads.litmus import atomic_counter
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import build_program
+
+
+def assert_identical(plain, sanitized):
+    assert sanitized.cycles == plain.cycles
+    assert sanitized.per_core_cycles == plain.per_core_cycles
+    assert sanitized.memory_snapshot == plain.memory_snapshot
+    assert (
+        sanitized.merged_core_stats().snapshot()
+        == plain.merged_core_stats().snapshot()
+    )
+    assert (
+        sanitized.merged_controller_stats().snapshot()
+        == plain.merged_controller_stats().snapshot()
+    )
+    assert sanitized.directory_stats.snapshot() == plain.directory_stats.snapshot()
+    assert sanitized.network_stats.snapshot() == plain.network_stats.snapshot()
+
+
+class TestSanitizerTransparency:
+    @given(
+        threads=st.integers(1, 4),
+        increments=st.integers(1, 20),
+        mode=st.sampled_from(
+            [AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW, AtomicMode.FAR]
+        ),
+        pads=st.lists(st.integers(0, 20), min_size=4, max_size=4),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_contended_counter_clean_and_identical(
+        self, threads, increments, mode, pads
+    ):
+        prog = atomic_counter(threads, increments, pads=pads[:threads])
+        params = SystemParams.quick(atomic_mode=mode)
+        plain = simulate(params, prog)
+        sanitized = simulate(params, prog, sanitize=True)  # raises on violation
+        assert_identical(plain, sanitized)
+        assert sanitized.memory_snapshot.get(prog.metadata["addr"], 0) == (
+            threads * increments
+        )
+
+    @given(
+        seed=st.integers(0, 40),
+        hot_fraction=st.floats(0.0, 1.0),
+        api=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_random_profiles_clean_and_identical(self, seed, hot_fraction, api):
+        profile = get_profile("barnes").with_overrides(
+            name="sanitize-hypo",
+            atomics_per_10k=api,
+            hot_fraction=hot_fraction,
+            num_hot_lines=2,
+        )
+        prog = build_program(profile, 2, 500, seed=seed)
+        params = SystemParams.quick(atomic_mode=AtomicMode.ROW)
+        plain = simulate(params, prog)
+        sanitized = simulate(params, prog, sanitize=True)
+        assert_identical(plain, sanitized)

@@ -107,3 +107,33 @@ class TestMessaging:
         eng.send(Message(MsgKind.DATA, 5, src=0, dst=0), to_directory=False)
         eng.run_events()
         assert not got  # nothing delivered at cycle 0
+
+
+class TestUnknownEndpoint:
+    def test_unregistered_core_endpoint(self):
+        from repro.sanitize.errors import UnknownEndpointError
+
+        eng = make_engine()
+        msg = Message(MsgKind.DATA, 5, src=0, dst=2)
+        with pytest.raises(UnknownEndpointError) as excinfo:
+            eng.send(msg, to_directory=False)
+        err = excinfo.value
+        assert err.node == 2
+        assert not err.to_directory
+        assert "core endpoint 2" in str(err)
+
+    def test_unregistered_dir_endpoint(self):
+        from repro.sanitize.errors import UnknownEndpointError
+
+        eng = make_engine()
+        # A core endpoint at node 2 does not satisfy directory routing.
+        eng.register_core_endpoint(2, lambda m: None)
+        with pytest.raises(UnknownEndpointError) as excinfo:
+            eng.send(Message(MsgKind.GETS, 5, src=0, dst=2), to_directory=True)
+        assert excinfo.value.to_directory
+        assert "directory endpoint 2" in str(excinfo.value)
+
+    def test_still_catchable_as_keyerror(self):
+        eng = make_engine()
+        with pytest.raises(KeyError):
+            eng.send(Message(MsgKind.DATA, 5, src=0, dst=1), to_directory=False)
