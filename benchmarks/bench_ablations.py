@@ -15,9 +15,10 @@ from repro.analysis.ablations import (
 )
 
 
-def test_ablation_predictor_entries(benchmark, scale, record_figure):
+def test_ablation_predictor_entries(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        predictor_entries_ablation, args=(scale,), rounds=1, iterations=1
+        predictor_entries_ablation, args=(scale,), kwargs={"runner": runner}, rounds=1,
+        iterations=1
     )
     record_figure(fig)
     if scale.name == "smoke":
@@ -33,9 +34,10 @@ def test_ablation_predictor_entries(benchmark, scale, record_figure):
     assert abs(geo[cols["entries_256"]] - geo[cols["entries_64"]]) < 0.05
 
 
-def test_ablation_counter_width(benchmark, scale, record_figure):
+def test_ablation_counter_width(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        counter_width_ablation, args=(scale,), rounds=1, iterations=1
+        counter_width_ablation, args=(scale,), kwargs={"runner": runner}, rounds=1,
+        iterations=1
     )
     record_figure(fig)
     if scale.name == "smoke":
@@ -47,9 +49,10 @@ def test_ablation_counter_width(benchmark, scale, record_figure):
     assert geo[cols["bits_4"]] <= geo[cols["bits_1"]] + 0.02
 
 
-def test_ablation_predictor_policy(benchmark, scale, record_figure):
+def test_ablation_predictor_policy(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        predictor_policy_comparison, args=(scale,), rounds=1, iterations=1
+        predictor_policy_comparison, args=(scale,), kwargs={"runner": runner}, rounds=1,
+        iterations=1
     )
     record_figure(fig)
     if scale.name == "smoke":
@@ -63,9 +66,10 @@ def test_ablation_predictor_policy(benchmark, scale, record_figure):
     assert geo[cols["+2/-1"]] < 1.05
 
 
-def test_ablation_aq_depth(benchmark, scale, record_figure):
+def test_ablation_aq_depth(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        aq_depth_ablation, args=(scale,), rounds=1, iterations=1
+        aq_depth_ablation, args=(scale,), kwargs={"runner": runner}, rounds=1,
+        iterations=1
     )
     record_figure(fig)
     if scale.name == "smoke":
@@ -78,9 +82,10 @@ def test_ablation_aq_depth(benchmark, scale, record_figure):
     assert rows["canneal"][cols["aq_16"]] == 1.0
 
 
-def test_ablation_sb_depth(benchmark, scale, record_figure):
+def test_ablation_sb_depth(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        sb_depth_ablation, args=(scale,), rounds=1, iterations=1
+        sb_depth_ablation, args=(scale,), kwargs={"runner": runner}, rounds=1,
+        iterations=1
     )
     record_figure(fig)
     if scale.name == "smoke":

@@ -10,12 +10,13 @@ the hot lines, so lazy's advantage widens as the machine grows.
 from dataclasses import replace
 
 from repro.analysis.report import FigureData
-from repro.analysis.runner import base_params, config, normalized_time
+from repro.analysis.parallel import RunSpec
+from repro.analysis.runner import base_params, config
 from repro.common.params import AtomicMode
 from repro.common.stats import geomean
 
 
-def core_scaling(scale) -> FigureData:
+def core_scaling(scale, runner) -> FigureData:
     base = base_params(scale)
     fig = FigureData(
         "Ext-Scaling",
@@ -23,13 +24,24 @@ def core_scaling(scale) -> FigureData:
         ["cores", "lazy_over_eager"],
     )
     counts = (2, 4, 8) if scale.name != "paper" else (8, 16, 32)
+    points = []
     for cores in counts:
         params = replace(base, num_cores=cores)
-        eager = config(params, AtomicMode.EAGER)
-        lazy = config(params, AtomicMode.LAZY)
-        scale_at_count = replace(scale, num_threads=cores)
+        points.append((
+            cores,
+            config(params, AtomicMode.LAZY),
+            config(params, AtomicMode.EAGER),
+            replace(scale, num_threads=cores),
+        ))
+    runner.prefetch([
+        spec
+        for _, lazy, eager, at_count in points
+        for cfg in (lazy, eager)
+        for spec in RunSpec.for_seeds("pc", cfg, at_count)
+    ])
+    for cores, lazy, eager, at_count in points:
         fig.add_row(
-            cores, normalized_time("pc", lazy, eager, scale_at_count)
+            cores, runner.normalized_time("pc", lazy, eager, at_count)
         )
     fig.notes.append(
         "expected shape: a phase transition, not a gentle slope — below the"
@@ -40,8 +52,10 @@ def core_scaling(scale) -> FigureData:
     return fig
 
 
-def test_core_scaling(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(core_scaling, args=(scale,), rounds=1, iterations=1)
+def test_core_scaling(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        core_scaling, args=(scale, runner), rounds=1, iterations=1
+    )
     record_figure(fig)
     if scale.name == "smoke":
         return

@@ -8,14 +8,15 @@ forfeits eager's latency hiding (bad for miss-heavy uncontended atomics).
 """
 
 from repro.analysis.report import FigureData
-from repro.analysis.runner import base_params, config, normalized_time
+from repro.analysis.parallel import RunSpec
+from repro.analysis.runner import base_params, config
 from repro.common.params import AtomicMode
 from repro.common.stats import geomean
 
 WORKLOADS = ("canneal", "freqmine", "cq", "tatp", "raytrace", "tpcc", "sps", "pc")
 
 
-def far_comparison(scale) -> FigureData:
+def far_comparison(scale, runner) -> FigureData:
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     fig = FigureData(
@@ -23,12 +24,16 @@ def far_comparison(scale) -> FigureData:
         "Near (eager/lazy/RoW) vs far atomics (normalized to near-eager)",
         ["workload", "lazy", "row", "far"],
     )
+    lazy = config(base, AtomicMode.LAZY)
+    row = config(base, AtomicMode.ROW)
+    far = config(base, AtomicMode.FAR)
+    runner.prefetch(RunSpec.grid(WORKLOADS, (eager, lazy, row, far), scale))
     for wl in WORKLOADS:
         fig.add_row(
             wl,
-            normalized_time(wl, config(base, AtomicMode.LAZY), eager, scale),
-            normalized_time(wl, config(base, AtomicMode.ROW), eager, scale),
-            normalized_time(wl, config(base, AtomicMode.FAR), eager, scale),
+            runner.normalized_time(wl, lazy, eager, scale),
+            runner.normalized_time(wl, row, eager, scale),
+            runner.normalized_time(wl, far, eager, scale),
         )
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -42,8 +47,10 @@ def far_comparison(scale) -> FigureData:
     return fig
 
 
-def test_far_atomics_comparison(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(far_comparison, args=(scale,), rounds=1, iterations=1)
+def test_far_atomics_comparison(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        far_comparison, args=(scale, runner), rounds=1, iterations=1
+    )
     record_figure(fig)
     if scale.name == "smoke":
         return

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure1
 
 
-def test_fig01_lazy_vs_eager(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure1, args=(scale,), rounds=1, iterations=1)
+def test_fig01_lazy_vs_eager(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure1, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     # Paper shape: canneal/freqmine strongly eager-favoring...

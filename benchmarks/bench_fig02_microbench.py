@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure2
 
 
-def test_fig02_microbench(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure2, args=(scale,), rounds=1, iterations=1)
+def test_fig02_microbench(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure2, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = {(r[0], r[1], r[2]): r[3] for r in fig.rows}
     # Old x86: the lock prefix costs ~a fence (roughly doubles cycles) and

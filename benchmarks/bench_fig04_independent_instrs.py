@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure4
 
 
-def test_fig04_independent_instructions(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure4, args=(scale,), rounds=1, iterations=1)
+def test_fig04_independent_instructions(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure4, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     # Eager issue happens while older instructions are still pending.

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure5
 
 
-def test_fig05_intensity_and_contention(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure5, args=(scale,), rounds=1, iterations=1)
+def test_fig05_intensity_and_contention(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure5, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     # Every app in the per-app figures is atomic-intensive (>= 1 per 10k).

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure6
 
 
-def test_fig06_latency_breakdown(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure6, args=(scale,), rounds=1, iterations=1)
+def test_fig06_latency_breakdown(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure6, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     by_key = {(r[0], r[1]): r for r in fig.rows}
     for workload in ("pc", "sps", "tpcc"):

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure9
 
 
-def test_fig09_row_variants(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure9, args=(scale,), rounds=1, iterations=1)
+def test_fig09_row_variants(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure9, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     geo = fig.row_map()["GEOMEAN"]
     cols = {name: i for i, name in enumerate(fig.columns)}

@@ -7,9 +7,10 @@ from repro.analysis.figures import figure10
 SUBSET = ("canneal", "cq", "raytrace", "tpcc", "sps", "pc")
 
 
-def test_fig10_threshold_sensitivity(benchmark, scale, record_figure):
+def test_fig10_threshold_sensitivity(benchmark, scale, runner, record_figure):
     fig = benchmark.pedantic(
-        figure10, args=(scale, SUBSET), rounds=1, iterations=1
+        figure10, args=(scale, SUBSET), kwargs={"runner": runner},
+        rounds=1, iterations=1
     )
     record_figure(fig)
     geo = fig.row_map()["GEOMEAN"]

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure11
 
 
-def test_fig11_miss_latency(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure11, args=(scale,), rounds=1, iterations=1)
+def test_fig11_miss_latency(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure11, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     cols = {name: i for i, name in enumerate(fig.columns)}

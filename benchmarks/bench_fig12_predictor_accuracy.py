@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure12
 
 
-def test_fig12_predictor_accuracy(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure12, args=(scale,), rounds=1, iterations=1)
+def test_fig12_predictor_accuracy(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure12, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     mean = rows["MEAN"]

@@ -3,8 +3,10 @@
 from repro.analysis.figures import figure13
 
 
-def test_fig13_forwarding(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(figure13, args=(scale,), rounds=1, iterations=1)
+def test_fig13_forwarding(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        figure13, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     rows = fig.row_map()
     cols = {name: i for i, name in enumerate(fig.columns)}

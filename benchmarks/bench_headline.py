@@ -3,8 +3,10 @@
 from repro.analysis.figures import headline
 
 
-def test_headline_claims(benchmark, scale, record_figure):
-    fig = benchmark.pedantic(headline, args=(scale,), rounds=1, iterations=1)
+def test_headline_claims(benchmark, scale, runner, record_figure):
+    fig = benchmark.pedantic(
+        headline, args=(scale,), kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     record_figure(fig)
     reproduced = {row[0]: row[2] for row in fig.rows}
     # RoW with forwarding reduces average execution time vs always-eager.

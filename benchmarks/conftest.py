@@ -3,25 +3,44 @@
 Every bench regenerates one of the paper's tables/figures at the scale
 selected by ``REPRO_SCALE`` (smoke | quick | full | paper; default quick),
 prints the regenerated series, and records it under ``benchmarks/results/``.
-Simulation results are memoized process-wide, so running the whole suite
-shares the eager/lazy baselines across figures.
+
+All simulations run through one session-scoped
+:class:`repro.analysis.parallel.Runner`, so the eager/lazy baselines are
+shared across figures, ``REPRO_JOBS=N`` fans the job grids across worker
+processes, and results persist in ``benchmarks/.cache`` (override with
+``REPRO_BENCH_CACHE``; set it empty to disable) — re-running the suite
+after an interruption resumes instead of re-simulating.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
+from repro.analysis.parallel import Runner
 from repro.analysis.report import FigureData
-from repro.analysis.runner import default_scale
+from repro.analysis.runner import scale_by_name
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_CACHE = pathlib.Path(__file__).parent / ".cache"
 
 
 @pytest.fixture(scope="session")
 def scale():
-    return default_scale()
+    # The env var is the harness's explicit scale channel (read once here,
+    # at the edge), not the deprecated implicit default_scale() fallback.
+    return scale_by_name(os.environ.get("REPRO_SCALE", "quick"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    cache = os.environ.get("REPRO_BENCH_CACHE", str(DEFAULT_CACHE))
+    return Runner(
+        jobs=int(os.environ.get("REPRO_JOBS", "1")),
+        cache_dir=cache or None,
+    )
 
 
 @pytest.fixture

@@ -6,6 +6,10 @@ higher the aliasing ... a single predictor entry ... causes a performance
 degradation by 0.3% on average compared to eager"), the 4-bit counters, the
 16-entry AQ it inherits from Free Atomics, and the +2/−1 update policy it
 mentions evaluating and rejecting.  These functions measure each choice.
+
+Like the figure functions, every ablation accepts ``runner=`` and
+prefetches its full job grid, so ``Runner(jobs=N, cache_dir=...)`` fans
+the sweep out and reuses previously computed points.
 """
 
 from __future__ import annotations
@@ -13,12 +17,12 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis.report import FigureData
+from repro.analysis.parallel import Runner, RunSpec, get_default_runner
 from repro.analysis.runner import (
     ExperimentScale,
     base_params,
     config,
     default_scale,
-    normalized_time,
 )
 from repro.common.params import (
     AtomicMode,
@@ -58,28 +62,36 @@ def _scale(scale: ExperimentScale | None) -> ExperimentScale:
     return scale if scale is not None else default_scale()
 
 
+def _runner(runner: Runner | None) -> Runner:
+    return runner if runner is not None else get_default_runner()
+
+
 def predictor_entries_ablation(
     scale: ExperimentScale | None = None,
     entries_sweep: tuple[int, ...] = (1, 4, 16, 64, 256),
     workloads: tuple[str | WorkloadProfile, ...] = ABLATION_WORKLOADS,
+    runner: Runner | None = None,
 ) -> FigureData:
     """Predictor size vs aliasing (Sec. IV-D's 64-entry choice)."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
+    sat = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
+    configs = [
+        replace(sat, row=replace(sat.row, predictor_entries=entries))
+        for entries in entries_sweep
+    ]
+    all_workloads = workloads + (mixed_alias_profile(),)
+    runner.prefetch(RunSpec.grid(all_workloads, [eager] + configs, scale))
     fig = FigureData(
         "Ablation-A",
         "RoW (RW+Dir_Sat) vs predictor table size (normalized to eager)",
         ["workload"] + [f"entries_{n}" for n in entries_sweep],
     )
-    for wl in workloads + (mixed_alias_profile(),):
+    for wl in all_workloads:
         row: list[object] = [wl if isinstance(wl, str) else wl.name]
-        for entries in entries_sweep:
-            cfg = config(
-                base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE
-            )
-            cfg = replace(cfg, row=replace(cfg.row, predictor_entries=entries))
-            row.append(normalized_time(wl, cfg, eager, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -97,11 +109,17 @@ def counter_width_ablation(
     scale: ExperimentScale | None = None,
     widths: tuple[int, ...] = (1, 2, 4, 6),
     workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    runner: Runner | None = None,
 ) -> FigureData:
     """Saturating-counter width: hysteresis depth vs adaptability."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
+    sat = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
+    configs = [
+        replace(sat, row=replace(sat.row, counter_bits=bits)) for bits in widths
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
     fig = FigureData(
         "Ablation-B",
         "RoW (RW+Dir_Sat) vs counter width in bits (normalized to eager)",
@@ -109,12 +127,8 @@ def counter_width_ablation(
     )
     for wl in workloads:
         row: list[object] = [wl]
-        for bits in widths:
-            cfg = config(
-                base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE
-            )
-            cfg = replace(cfg, row=replace(cfg.row, counter_bits=bits))
-            row.append(normalized_time(wl, cfg, eager, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -130,14 +144,19 @@ def counter_width_ablation(
 def predictor_policy_comparison(
     scale: ExperimentScale | None = None,
     workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    runner: Runner | None = None,
 ) -> FigureData:
     """UpDown vs Saturate vs the +2/−1 policy the paper evaluated and set
     aside ("observed that the up/down and saturate predictors reach higher
     performance benefits")."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     kinds = (PredictorKind.UPDOWN, PredictorKind.SATURATE, PredictorKind.PLUS2MINUS1)
+    configs = [
+        config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind) for kind in kinds
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
     fig = FigureData(
         "Ablation-C",
         "Predictor update policies with RW+Dir detection (normalized to eager)",
@@ -145,9 +164,8 @@ def predictor_policy_comparison(
     )
     for wl in workloads:
         row: list[object] = [wl]
-        for kind in kinds:
-            cfg = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind)
-            row.append(normalized_time(wl, cfg, eager, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -160,22 +178,27 @@ def aq_depth_ablation(
     scale: ExperimentScale | None = None,
     depths: tuple[int, ...] = (1, 2, 4, 8, 16),
     workloads: tuple[str, ...] = ("canneal", "freqmine", "pc"),
+    runner: Runner | None = None,
 ) -> FigureData:
     """Atomic Queue depth: how many in-flight atomics the unfenced baseline
     needs (Free Atomics uses 16)."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
+    baseline = config(replace(base, aq_entries=16), AtomicMode.EAGER)
+    configs = [
+        config(replace(base, aq_entries=depth), AtomicMode.EAGER)
+        for depth in depths
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [baseline] + configs, scale))
     fig = FigureData(
         "Ablation-D",
         "Eager execution vs AQ depth (normalized to the 16-entry AQ)",
         ["workload"] + [f"aq_{d}" for d in depths],
     )
     for wl in workloads:
-        baseline = config(replace(base, aq_entries=16), AtomicMode.EAGER)
         row: list[object] = [wl]
-        for depth in depths:
-            cfg = config(replace(base, aq_entries=depth), AtomicMode.EAGER)
-            row.append(normalized_time(wl, cfg, baseline, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, baseline, scale))
         fig.add_row(*row)
     fig.notes.append(
         "atomic-intensive non-contended apps (canneal) need several AQ"
@@ -188,23 +211,28 @@ def sb_depth_ablation(
     scale: ExperimentScale | None = None,
     depths: tuple[int, ...] = (4, 8, 16, 32),
     workloads: tuple[str, ...] = ("canneal", "pc"),
+    runner: Runner | None = None,
 ) -> FigureData:
     """Store-buffer depth: the lazy condition waits for a full SB drain, so
     a deeper SB (more buffered stores) lengthens every lazy atomic's
     dispatch-to-issue wait, while eager execution mostly ignores it."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
+    baseline = config(replace(base, sb_entries=32), AtomicMode.LAZY)
+    configs = [
+        config(replace(base, sb_entries=depth), AtomicMode.LAZY)
+        for depth in depths
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [baseline] + configs, scale))
     fig = FigureData(
         "Ablation-E",
         "Lazy execution vs SB depth (normalized to the 32-entry SB)",
         ["workload"] + [f"sb_{d}" for d in depths],
     )
     for wl in workloads:
-        baseline = config(replace(base, sb_entries=32), AtomicMode.LAZY)
         row: list[object] = [wl]
-        for depth in depths:
-            cfg = config(replace(base, sb_entries=depth), AtomicMode.LAZY)
-            row.append(normalized_time(wl, cfg, baseline, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, baseline, scale))
         fig.add_row(*row)
     fig.notes.append(
         "a shallow SB throttles dispatch (stores stall allocation); a deep"

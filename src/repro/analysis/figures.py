@@ -1,11 +1,18 @@
 """Regeneration of every table and figure in the paper's evaluation.
 
-Each ``figureN`` function runs (or reuses, via the runner's memo cache) the
-simulations behind that figure and returns a :class:`FigureData` whose rows
-mirror the series the paper plots.  Absolute cycle counts differ from the
-paper — the substrate is a scaled Python timing model, not the authors'
-32-core Sniper/GEMS testbed — but the *shape* (who wins, by what factor,
-where crossovers fall) is the reproduction target (see EXPERIMENTS.md).
+Each ``figureN`` function runs the simulations behind that figure and
+returns a :class:`FigureData` whose rows mirror the series the paper
+plots.  All runs go through a :class:`~repro.analysis.parallel.Runner`:
+pass ``runner=Runner(jobs=N, cache_dir=...)`` to fan the figure's
+(workload × config × seed) job grid across worker processes and persist
+results on disk; with no runner a shared serial, memory-only one is used.
+Every figure prefetches its full grid before reading any single result,
+so parallelism applies to the whole campaign, not one run at a time.
+
+Absolute cycle counts differ from the paper — the substrate is a scaled
+Python timing model, not the authors' 32-core Sniper/GEMS testbed — but
+the *shape* (who wins, by what factor, where crossovers fall) is the
+reproduction target (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.common.params import (
 )
 from repro.common.stats import geomean
 from repro.analysis.report import FigureData
+from repro.analysis.parallel import Runner, RunSpec, get_default_runner
 from repro.analysis.runner import (
     ExperimentScale,
     ROW_VARIANTS,
@@ -25,8 +33,6 @@ from repro.analysis.runner import (
     config,
     default_scale,
     mean_over_seeds,
-    normalized_time,
-    run_seeds,
 )
 from repro.isa.instructions import AtomicOp
 from repro.row.cost import row_hardware_cost
@@ -42,23 +48,30 @@ def _scale(scale: ExperimentScale | None) -> ExperimentScale:
     return scale if scale is not None else default_scale()
 
 
+def _runner(runner: Runner | None) -> Runner:
+    return runner if runner is not None else get_default_runner()
+
+
 # ---------------------------------------------------------------------------
 # Fig. 1 — lazy vs eager normalized execution time
 # ---------------------------------------------------------------------------
 
 
-def figure1(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure1(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     lazy = config(base, AtomicMode.LAZY)
+    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy), scale))
     fig = FigureData(
         "Fig.1",
         "Normalized execution time of lazy vs eager atomics (lower favors lazy)",
         ["workload", "lazy/eager"],
     )
     for wl in ATOMIC_WORKLOADS:
-        fig.add_row(wl, normalized_time(wl, lazy, eager, scale))
+        fig.add_row(wl, runner.normalized_time(wl, lazy, eager, scale))
     ratios = [r[1] for r in fig.rows]
     fig.notes.append(
         f"geomean={geomean(ratios):.3f}; paper: canneal/freqmine strongly"
@@ -106,8 +119,12 @@ def legacy_core_params() -> SystemParams:
 
 
 def figure2(
-    scale: ExperimentScale | None = None, iterations: int | None = None
+    scale: ExperimentScale | None = None,
+    iterations: int | None = None,
+    runner: Runner | None = None,
 ) -> FigureData:
+    # Microbenchmark programs are built directly (not from a workload
+    # profile), so this figure runs in-process and is not disk-cached.
     scale = _scale(scale)
     if iterations is None:
         iterations = {"smoke": 200, "quick": 600, "full": 1200, "paper": 3000}[
@@ -138,19 +155,26 @@ def figure2(
 # ---------------------------------------------------------------------------
 
 
-def figure4(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure4(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     lazy = config(base, AtomicMode.LAZY)
+    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy), scale))
     fig = FigureData(
         "Fig.4",
         "Independent instructions w.r.t. eager and lazy atomics",
         ["workload", "older_not_executed_at_eager_issue", "younger_started_at_lazy_issue"],
     )
     for wl in ATOMIC_WORKLOADS:
-        older = mean_over_seeds(run_seeds(wl, eager, scale), "older_unexecuted_mean")
-        younger = mean_over_seeds(run_seeds(wl, lazy, scale), "younger_started_mean")
+        older = mean_over_seeds(
+            runner.run_seeds(wl, eager, scale), "older_unexecuted_mean"
+        )
+        younger = mean_over_seeds(
+            runner.run_seeds(wl, lazy, scale), "younger_started_mean"
+        )
         fig.add_row(wl, older, younger)
     fig.notes.append(
         "paper: ~48 older instructions pending on average at eager issue;"
@@ -164,16 +188,19 @@ def figure4(scale: ExperimentScale | None = None) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def figure5(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure5(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     eager = config(base_params(scale), AtomicMode.EAGER)
+    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager,), scale))
     fig = FigureData(
         "Fig.5",
         "Atomics per 10k instructions and %% facing contention (eager)",
         ["workload", "atomics_per_10k", "contended_pct"],
     )
     for wl in ATOMIC_WORKLOADS:
-        runs = run_seeds(wl, eager, scale)
+        runs = runner.run_seeds(wl, eager, scale)
         fig.add_row(
             wl,
             mean_over_seeds(runs, "atomics_per_10k"),
@@ -187,17 +214,23 @@ def figure5(scale: ExperimentScale | None = None) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def figure6(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure6(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
+    modes = (AtomicMode.EAGER, AtomicMode.LAZY)
+    runner.prefetch(
+        RunSpec.grid(ATOMIC_WORKLOADS, [config(base, m) for m in modes], scale)
+    )
     fig = FigureData(
         "Fig.6",
         "Atomic latency breakdown (cycles): dispatch->issue, issue->lock, lock->unlock",
         ["workload", "mode", "dispatch_to_issue", "issue_to_lock", "lock_to_unlock"],
     )
     for wl in ATOMIC_WORKLOADS:
-        for mode in (AtomicMode.EAGER, AtomicMode.LAZY):
-            runs = run_seeds(wl, config(base, mode), scale)
+        for mode in modes:
+            runs = runner.run_seeds(wl, config(base, mode), scale)
             d2i = sum(m.breakdown["dispatch_to_issue"] for m in runs) / len(runs)
             i2l = sum(m.breakdown["issue_to_lock"] for m in runs) / len(runs)
             l2u = sum(m.breakdown["lock_to_unlock"] for m in runs) / len(runs)
@@ -217,11 +250,17 @@ def figure6(scale: ExperimentScale | None = None) -> FigureData:
 def figure9(
     scale: ExperimentScale | None = None,
     workloads: tuple[str, ...] = ATOMIC_WORKLOADS,
+    runner: Runner | None = None,
 ) -> FigureData:
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     lazy = config(base, AtomicMode.LAZY)
+    variants = [
+        config(base, AtomicMode.ROW, detection, predictor)
+        for _, detection, predictor in ROW_VARIANTS
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [eager, lazy] + variants, scale))
     columns = ["workload", "eager", "lazy"] + [name for name, _, _ in ROW_VARIANTS]
     fig = FigureData(
         "Fig.9",
@@ -229,10 +268,9 @@ def figure9(
         columns,
     )
     for wl in workloads:
-        row: list[object] = [wl, 1.0, normalized_time(wl, lazy, eager, scale)]
-        for _, detection, predictor in ROW_VARIANTS:
-            cfg = config(base, AtomicMode.ROW, detection, predictor)
-            row.append(normalized_time(wl, cfg, eager, scale))
+        row: list[object] = [wl, 1.0, runner.normalized_time(wl, lazy, eager, scale)]
+        for cfg in variants:
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     # Aggregate row (geomean across workloads).
     agg: list[object] = ["GEOMEAN"]
@@ -251,10 +289,22 @@ def figure10(
     scale: ExperimentScale | None = None,
     workloads: tuple[str, ...] = ATOMIC_WORKLOADS,
     thresholds: tuple[int | None, ...] = (0, 40, 120, 400, 2000, None),
+    runner: Runner | None = None,
 ) -> FigureData:
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
+    configs = [
+        config(
+            base,
+            AtomicMode.ROW,
+            DetectionMode.RW_DIR,
+            PredictorKind.SATURATE,
+            latency_threshold=thr,
+        )
+        for thr in thresholds
+    ]
+    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
     names = ["inf" if t is None else str(t) for t in thresholds]
     fig = FigureData(
         "Fig.10",
@@ -263,15 +313,8 @@ def figure10(
     )
     for wl in workloads:
         row: list[object] = [wl]
-        for thr in thresholds:
-            cfg = config(
-                base,
-                AtomicMode.ROW,
-                DetectionMode.RW_DIR,
-                PredictorKind.SATURATE,
-                latency_threshold=thr,
-            )
-            row.append(normalized_time(wl, cfg, eager, scale))
+        for cfg in configs:
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -290,8 +333,10 @@ def figure10(
 # ---------------------------------------------------------------------------
 
 
-def figure11(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure11(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     configs = [
         ("eager", config(base, AtomicMode.EAGER)),
@@ -305,6 +350,9 @@ def figure11(scale: ExperimentScale | None = None) -> FigureData:
             config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE),
         ),
     ]
+    runner.prefetch(
+        RunSpec.grid(ATOMIC_WORKLOADS, [cfg for _, cfg in configs], scale)
+    )
     fig = FigureData(
         "Fig.11",
         "Average L1D miss latency (cycles) for all memory instructions",
@@ -313,7 +361,9 @@ def figure11(scale: ExperimentScale | None = None) -> FigureData:
     for wl in ATOMIC_WORKLOADS:
         row: list[object] = [wl]
         for _, cfg in configs:
-            row.append(mean_over_seeds(run_seeds(wl, cfg, scale), "miss_latency"))
+            row.append(
+                mean_over_seeds(runner.run_seeds(wl, cfg, scale), "miss_latency")
+            )
         fig.add_row(*row)
     fig.notes.append(
         "paper: eager nearly doubles the miss latency of lazy on contended"
@@ -327,9 +377,16 @@ def figure11(scale: ExperimentScale | None = None) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def figure12(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure12(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
+    kinds = (PredictorKind.UPDOWN, PredictorKind.SATURATE)
+    configs = [
+        config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind) for kind in kinds
+    ]
+    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, configs, scale))
     fig = FigureData(
         "Fig.12",
         "Contention-prediction accuracy of RoW (RW+Dir detection)",
@@ -337,9 +394,10 @@ def figure12(scale: ExperimentScale | None = None) -> FigureData:
     )
     for wl in ATOMIC_WORKLOADS:
         accs = []
-        for predictor in (PredictorKind.UPDOWN, PredictorKind.SATURATE):
-            cfg = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, predictor)
-            accs.append(mean_over_seeds(run_seeds(wl, cfg, scale), "accuracy"))
+        for cfg in configs:
+            accs.append(
+                mean_over_seeds(runner.run_seeds(wl, cfg, scale), "accuracy")
+            )
         fig.add_row(wl, *accs)
     ud = [r[1] for r in fig.rows]
     sat = [r[2] for r in fig.rows]
@@ -355,8 +413,10 @@ def figure12(scale: ExperimentScale | None = None) -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def figure13(scale: ExperimentScale | None = None) -> FigureData:
-    scale = _scale(scale)
+def figure13(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     configs = [
@@ -391,6 +451,9 @@ def figure13(scale: ExperimentScale | None = None) -> FigureData:
             ),
         ),
     ]
+    runner.prefetch(
+        RunSpec.grid(ATOMIC_WORKLOADS, [eager] + [cfg for _, cfg in configs], scale)
+    )
     fig = FigureData(
         "Fig.13",
         "Normalized execution time with store->atomic forwarding enabled",
@@ -399,7 +462,7 @@ def figure13(scale: ExperimentScale | None = None) -> FigureData:
     for wl in ATOMIC_WORKLOADS:
         row: list[object] = [wl]
         for _, cfg in configs:
-            row.append(normalized_time(wl, cfg, eager, scale))
+            row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
     for i in range(1, len(fig.columns)):
@@ -441,9 +504,11 @@ def table1() -> FigureData:
 # ---------------------------------------------------------------------------
 
 
-def headline(scale: ExperimentScale | None = None) -> FigureData:
+def headline(
+    scale: ExperimentScale | None = None, runner: Runner | None = None
+) -> FigureData:
     """RoW's summary claims: vs eager / vs lazy / all-applications."""
-    scale = _scale(scale)
+    scale, runner = _scale(scale), _runner(runner)
     base = base_params(scale)
     eager = config(base, AtomicMode.EAGER)
     lazy = config(base, AtomicMode.LAZY)
@@ -461,6 +526,10 @@ def headline(scale: ExperimentScale | None = None) -> FigureData:
         PredictorKind.SATURATE,
         forwarding=True,
     )
+    runner.prefetch(
+        RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy, best, best_sat), scale)
+        + RunSpec.grid(tuple(NON_ATOMIC_INTENSIVE), (eager, best), scale)
+    )
     fig = FigureData(
         "Headline",
         "RoW summary claims (reductions in execution time)",
@@ -468,7 +537,9 @@ def headline(scale: ExperimentScale | None = None) -> FigureData:
     )
 
     def reduction(cfg_a: SystemParams, cfg_b: SystemParams, workloads) -> tuple[float, float]:
-        ratios = [normalized_time(wl, cfg_a, cfg_b, scale) for wl in workloads]
+        ratios = [
+            runner.normalized_time(wl, cfg_a, cfg_b, scale) for wl in workloads
+        ]
         avg = 1.0 - geomean(ratios)
         best_red = 1.0 - min(ratios)
         return avg, best_red
@@ -495,6 +566,6 @@ ALL_FIGURES = {
     "fig11": figure11,
     "fig12": figure12,
     "fig13": figure13,
-    "table1": lambda scale=None: table1(),
+    "table1": lambda scale=None, runner=None: table1(),
     "headline": headline,
 }

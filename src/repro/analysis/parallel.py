@@ -1,0 +1,496 @@
+"""Job-based experiment executor: ``RunSpec`` + ``Runner``.
+
+The paper's evaluation is dozens of sweeps over the same
+(workload × configuration × seed) grid.  This module turns each point of
+that grid into a frozen, hashable, picklable :class:`RunSpec` job and
+executes batches of them through a :class:`Runner` that
+
+* fans jobs across a ``multiprocessing`` pool (``jobs=N``),
+* memoizes results in-process *and* in a persistent on-disk cache keyed by
+  a content hash of the full spec plus a simulator-version salt,
+* retries jobs whose worker crashed mid-flight,
+* resumes partially completed sweeps (finished jobs are disk hits), and
+* renders a progress/ETA line for long campaigns.
+
+Parallel and serial execution produce identical metrics: the simulation is
+deterministic per (spec, seed), and every result round-trips through the
+same :meth:`RunMetrics.to_json` schema the cache files use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import pathlib
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro import __version__ as _ENGINE_VERSION
+from repro.analysis.runner import ExperimentScale, RunMetrics
+from repro.common.params import SystemParams
+from repro.common.stats import geomean
+from repro.sim.multicore import simulate
+from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.synthetic import build_program
+
+#: Bump when the cache file layout (not the simulator) changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+class RunnerError(RuntimeError):
+    """A job failed after exhausting its retry budget."""
+
+
+# ---------------------------------------------------------------------------
+# RunSpec: the frozen, content-addressable identity of one simulation
+# ---------------------------------------------------------------------------
+
+
+def _canonical(obj):
+    """Reduce params/profiles to plain JSON-stable values for hashing."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    return obj
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation's metrics.
+
+    Replaces the old ``run_one(workload, params, scale, seed)`` positional
+    soup: a spec is hashable (usable as a memo key), picklable (shippable
+    to pool workers) and content-addressable (:meth:`content_hash` keys the
+    on-disk cache).
+    """
+
+    workload: WorkloadProfile
+    params: SystemParams
+    num_threads: int
+    instructions_per_thread: int
+    seed: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        workload: str | WorkloadProfile,
+        params: SystemParams,
+        scale: ExperimentScale,
+        seed: int = 0,
+    ) -> "RunSpec":
+        profile = get_profile(workload) if isinstance(workload, str) else workload
+        return cls(
+            workload=profile,
+            params=params,
+            num_threads=min(scale.num_threads, params.num_cores),
+            instructions_per_thread=scale.instructions_per_thread,
+            seed=seed,
+        )
+
+    @classmethod
+    def for_seeds(
+        cls,
+        workload: str | WorkloadProfile,
+        params: SystemParams,
+        scale: ExperimentScale,
+    ) -> list["RunSpec"]:
+        return [cls.build(workload, params, scale, seed) for seed in scale.seeds]
+
+    @classmethod
+    def grid(
+        cls,
+        workloads,
+        configs,
+        scale: ExperimentScale,
+    ) -> list["RunSpec"]:
+        """The full (workload × config × seed) job grid of one experiment."""
+        return [
+            spec
+            for workload in workloads
+            for params in configs
+            for spec in cls.for_seeds(workload, params, scale)
+        ]
+
+    def canonical_dict(self) -> dict:
+        return {
+            "engine": _ENGINE_VERSION,
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": _canonical(self),
+        }
+
+    def content_hash(self) -> str:
+        payload = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def execute_spec(spec: RunSpec) -> RunMetrics:
+    """Run one job in the current process (also the pool worker)."""
+    program = build_program(
+        spec.workload,
+        spec.num_threads,
+        spec.instructions_per_thread,
+        seed=spec.seed,
+    )
+    return RunMetrics.from_result(simulate(spec.params, program))
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Where each requested job's result came from."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    corrupt_discarded: int = 0
+
+    def reset(self) -> None:
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+class Runner:
+    """Executes :class:`RunSpec` jobs with memoization, disk caching and fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`run_many`; ``1`` executes in-process.
+    cache_dir:
+        Directory for the persistent result cache; ``None`` disables disk
+        caching (the in-process memo is always active).
+    retries:
+        Extra attempts per job after a worker crash or exception.
+    progress:
+        Emit a ``\\r``-refreshed progress/ETA line on stderr during batches.
+    worker:
+        Job-executing callable (module-level, picklable); tests override it.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        retries: int = 2,
+        progress: bool = False,
+        worker=execute_spec,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir is not None else None
+        self.retries = max(0, int(retries))
+        self.progress = progress
+        self.stats = RunnerStats()
+        self._worker = worker
+        self._memo: dict[RunSpec, RunMetrics] = {}
+
+    # -- cache ---------------------------------------------------------
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+    def _cache_path(self, spec: RunSpec) -> pathlib.Path:
+        digest = spec.content_hash()
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    def _cache_load(self, spec: RunSpec) -> RunMetrics | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._cache_discard(path)
+            return None
+        try:
+            if payload["schema"] != CACHE_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']}")
+            return RunMetrics.from_dict(payload["metrics"])
+        except (KeyError, TypeError, ValueError):
+            self._cache_discard(path)
+            return None
+
+    def _cache_discard(self, path: pathlib.Path) -> None:
+        self.stats.corrupt_discarded += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _cache_store(self, spec: RunSpec, metrics: RunMetrics) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "engine": _ENGINE_VERSION,
+                "spec": _canonical(spec),
+                "metrics": metrics.to_dict(),
+            },
+            sort_keys=True,
+        )
+        # Atomic publish: a reader never sees a truncated entry, and a
+        # killed sweep leaves only complete files to resume from.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunMetrics:
+        """One job: memo, then disk cache, then simulate."""
+        hit = self._memo.get(spec)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit
+        cached = self._cache_load(spec)
+        if cached is not None:
+            self.stats.disk_hits += 1
+            self._memo[spec] = cached
+            return cached
+        metrics = self._execute_with_retry(spec)
+        self._admit(spec, metrics)
+        return metrics
+
+    def _admit(self, spec: RunSpec, metrics: RunMetrics) -> None:
+        self.stats.simulated += 1
+        self._memo[spec] = metrics
+        self._cache_store(spec, metrics)
+
+    def _execute_with_retry(self, spec: RunSpec) -> RunMetrics:
+        for attempt in range(self.retries + 1):
+            try:
+                return self._worker(spec)
+            except Exception as exc:
+                if attempt == self.retries:
+                    raise RunnerError(
+                        f"job {spec.workload.name}/seed={spec.seed} failed"
+                        f" after {self.retries + 1} attempts: {exc!r}"
+                    ) from exc
+                self.stats.retries += 1
+        raise AssertionError("unreachable")
+
+    def run_many(self, specs) -> list[RunMetrics]:
+        """Run a batch of jobs, fanning cache misses across the pool.
+
+        Results come back in input order.  Jobs already present in the
+        cache are not re-executed — re-invoking an interrupted sweep
+        resumes where it left off.
+        """
+        specs = list(specs)
+        results: dict[RunSpec, RunMetrics] = {}
+        misses: list[RunSpec] = []
+        pending: set[RunSpec] = set()
+        for spec in specs:
+            if spec in results or spec in pending:
+                continue
+            hit = self._memo.get(spec)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                results[spec] = hit
+                continue
+            cached = self._cache_load(spec)
+            if cached is not None:
+                self.stats.disk_hits += 1
+                self._memo[spec] = cached
+                results[spec] = cached
+            else:
+                pending.add(spec)
+                misses.append(spec)
+
+        progress = _Progress(
+            total=len(specs),
+            done=len(specs) - len(misses),
+            enabled=self.progress,
+        )
+        progress.render()
+        try:
+            if misses:
+                if self.jobs == 1 or len(misses) == 1:
+                    for spec in misses:
+                        results[spec] = self._execute_with_retry(spec)
+                        self._admit(spec, results[spec])
+                        progress.tick()
+                else:
+                    for spec, metrics in self._run_pool(misses, progress):
+                        results[spec] = metrics
+                        self._admit(spec, metrics)
+        finally:
+            progress.finish()
+        return [results[spec] for spec in specs]
+
+    def _run_pool(self, misses, progress):
+        """Fan jobs across worker processes; retry crashed jobs.
+
+        A worker that dies (e.g. OOM-killed) breaks the whole pool and
+        fails every in-flight future, so the pool is rebuilt and the
+        not-yet-finished jobs resubmitted, each with a bounded attempt
+        budget.
+        """
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        attempts: dict[RunSpec, int] = {}
+        remaining = list(misses)
+        while remaining:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(remaining)), mp_context=ctx
+            )
+            retry_round: list[RunSpec] = []
+            try:
+                futures = {
+                    executor.submit(self._worker, spec): spec
+                    for spec in remaining
+                }
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    try:
+                        metrics = future.result()
+                    except Exception as exc:
+                        attempts[spec] = attempts.get(spec, 0) + 1
+                        if attempts[spec] > self.retries:
+                            raise RunnerError(
+                                f"job {spec.workload.name}/seed={spec.seed}"
+                                f" failed after {attempts[spec]} attempts:"
+                                f" {exc!r}"
+                            ) from exc
+                        self.stats.retries += 1
+                        retry_round.append(spec)
+                        continue
+                    progress.tick()
+                    yield spec, metrics
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            remaining = retry_round
+
+    # -- experiment-level conveniences ---------------------------------
+
+    def prefetch(self, specs) -> None:
+        """Populate the cache for a batch (the fan-out entry point)."""
+        self.run_many(specs)
+
+    def run_seeds(
+        self,
+        workload: str | WorkloadProfile,
+        params: SystemParams,
+        scale: ExperimentScale,
+    ) -> list[RunMetrics]:
+        return self.run_many(RunSpec.for_seeds(workload, params, scale))
+
+    def normalized_time(
+        self,
+        workload: str | WorkloadProfile,
+        params: SystemParams,
+        baseline: SystemParams,
+        scale: ExperimentScale,
+    ) -> float:
+        """Geomean over seeds of cycles(params)/cycles(baseline)."""
+        runs = self.run_seeds(workload, params, scale)
+        base = self.run_seeds(workload, baseline, scale)
+        return geomean([a.cycles / b.cycles for a, b in zip(runs, base)])
+
+    def summary(self) -> str:
+        s = self.stats
+        where = str(self.cache_dir) if self.cache_dir is not None else "memory"
+        return (
+            f"{s.simulated} simulated, {s.memo_hits + s.disk_hits} cache"
+            f" hit(s) ({s.disk_hits} from disk), {s.retries} retr(y/ies),"
+            f" {s.corrupt_discarded} corrupt entr(y/ies) discarded"
+            f" [cache: {where}]"
+        )
+
+
+class _Progress:
+    """A single ``\\r``-refreshed ``[done/total] ... eta`` line on stderr."""
+
+    def __init__(self, total: int, done: int, enabled: bool) -> None:
+        self.total = total
+        self.done = done
+        self.initial = done
+        self.enabled = enabled and total > 0
+        self.start = time.monotonic()
+        self._dirty = False
+
+    def tick(self) -> None:
+        self.done += 1
+        self.render()
+
+    def render(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self.start
+        fresh = self.done - self.initial
+        pending = self.total - self.done
+        eta = elapsed / fresh * pending if fresh else 0.0
+        sys.stderr.write(
+            f"\r[{self.done}/{self.total}] jobs"
+            f" ({self.initial} cached) elapsed {elapsed:5.1f}s"
+            f" eta {eta:5.1f}s "
+        )
+        sys.stderr.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self.enabled and self._dirty:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+# ---------------------------------------------------------------------------
+# Default runner (what figure functions use when no Runner is passed)
+# ---------------------------------------------------------------------------
+
+_default_runner: Runner | None = None
+
+
+def get_default_runner() -> Runner:
+    """Shared serial, memory-only runner — the old per-process memo."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = Runner(jobs=1, cache_dir=None)
+    return _default_runner
+
+
+def reset_default_runner() -> None:
+    global _default_runner
+    _default_runner = None

@@ -1,17 +1,24 @@
-"""Experiment runner: multi-seed simulation with memoization.
+"""Experiment scales, run configurations and the RunMetrics schema.
 
-The figure-regeneration functions in :mod:`repro.analysis.figures` share
-baseline runs heavily (the eager run of a workload appears in Figs. 1, 5, 6,
-9, 11 and 13), so results are memoized per process keyed by the workload,
-scale and full system configuration.  The eager-collapse under contention is
-a threshold phenomenon and seed-sensitive (see DESIGN.md), so every metric
-is aggregated over several trace seeds.
+The execution machinery lives in :mod:`repro.analysis.parallel`: a frozen
+:class:`~repro.analysis.parallel.RunSpec` names one simulation and a
+:class:`~repro.analysis.parallel.Runner` executes batches of them with
+memoization, a persistent on-disk cache and optional multiprocessing
+fan-out.  This module keeps what is common to every experiment: the named
+scales, the configuration builder for the paper's variants, and the
+:class:`RunMetrics` record (with its stable JSON schema — the same schema
+the cache files use).
+
+The historical per-process API (``run_one``/``run_seeds``/``clear_cache``)
+remains as thin deprecated shims over a shared default Runner.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields
 
 from repro.common.params import (
     AtomicMode,
@@ -19,10 +26,8 @@ from repro.common.params import (
     PredictorKind,
     SystemParams,
 )
-from repro.common.stats import geomean
-from repro.sim.multicore import RunResult, simulate
-from repro.workloads.profiles import WorkloadProfile, get_profile
-from repro.workloads.synthetic import build_program
+from repro.sim.multicore import RunResult
+from repro.workloads.profiles import WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -43,13 +48,35 @@ PAPER = ExperimentScale("paper", 32, 20000, (0, 1, 2))
 _SCALES = {s.name: s for s in (SMOKE, QUICK, FULL, PAPER)}
 
 
-def default_scale() -> ExperimentScale:
-    """Scale selected by the REPRO_SCALE environment variable (default quick)."""
-    return _SCALES[os.environ.get("REPRO_SCALE", "quick")]
-
-
 def scale_by_name(name: str) -> ExperimentScale:
-    return _SCALES[name]
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment scale {name!r}; valid scales are "
+            + ", ".join(sorted(_SCALES))
+        ) from None
+
+
+def default_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve an explicit scale name, defaulting to ``quick``.
+
+    Passing ``name`` (e.g. from a CLI ``--scale`` flag) is the supported
+    way to select a scale.  When no name is given, the ``REPRO_SCALE``
+    environment variable is honoured as a deprecated fallback.
+    """
+    if name is not None:
+        return scale_by_name(name)
+    env = os.environ.get("REPRO_SCALE")
+    if env is not None:
+        warnings.warn(
+            "implicit scale selection through REPRO_SCALE is deprecated;"
+            " pass scale= explicitly (CLI: --scale)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return scale_by_name(env)
+    return QUICK
 
 
 def base_params(scale: ExperimentScale) -> SystemParams:
@@ -96,7 +123,7 @@ ROW_VARIANTS: tuple[tuple[str, DetectionMode, PredictorKind], ...] = (
 
 
 # ---------------------------------------------------------------------------
-# Metric extraction and caching
+# Metric extraction
 # ---------------------------------------------------------------------------
 
 
@@ -156,12 +183,67 @@ class RunMetrics:
             counters=counters,
         )
 
+    # -- stable serialization (the cache-file schema) ------------------
 
-_cache: dict[tuple, RunMetrics] = {}
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "atomics": self.atomics,
+            "atomics_per_10k": self.atomics_per_10k,
+            "contended_truth_frac": self.contended_truth_frac,
+            "contended_detected": self.contended_detected,
+            "miss_latency": self.miss_latency,
+            "breakdown": dict(self.breakdown),
+            "accuracy": self.accuracy,
+            "older_unexecuted_mean": self.older_unexecuted_mean,
+            "younger_started_mean": self.younger_started_mean,
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunMetrics":
+        if not isinstance(payload, dict):
+            raise ValueError(f"RunMetrics payload must be a dict, got {payload!r}")
+        names = [f.name for f in fields(cls)]
+        missing = [n for n in names if n not in payload]
+        if missing:
+            raise ValueError(f"RunMetrics payload missing fields: {missing}")
+        return cls(**{n: payload[n] for n in names})
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMetrics":
+        return cls.from_dict(json.loads(text))
+
+
+def mean_over_seeds(metrics: list[RunMetrics], attr: str) -> float:
+    values = [getattr(m, attr) for m in metrics]
+    return sum(values) / len(values) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Deprecated per-process API (thin shims over the shared default Runner)
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/api.md migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def clear_cache() -> None:
-    _cache.clear()
+    """Deprecated: drop the shared default Runner (and its memo)."""
+    from repro.analysis.parallel import reset_default_runner
+
+    _deprecated("repro.analysis.runner.clear_cache()", "Runner.clear_memo()")
+    reset_default_runner()
 
 
 def run_one(
@@ -170,19 +252,11 @@ def run_one(
     scale: ExperimentScale,
     seed: int,
 ) -> RunMetrics:
-    profile = get_profile(workload) if isinstance(workload, str) else workload
-    key = (profile.name, repr(profile), repr(params), scale.num_threads,
-           scale.instructions_per_thread, seed)
-    hit = _cache.get(key)
-    if hit is not None:
-        return hit
-    threads = min(scale.num_threads, params.num_cores)
-    program = build_program(
-        profile, threads, scale.instructions_per_thread, seed=seed
-    )
-    metrics = RunMetrics.from_result(simulate(params, program))
-    _cache[key] = metrics
-    return metrics
+    """Deprecated: use ``Runner.run(RunSpec.build(...))``."""
+    from repro.analysis.parallel import RunSpec, get_default_runner
+
+    _deprecated("run_one(...)", "Runner.run(RunSpec.build(...))")
+    return get_default_runner().run(RunSpec.build(workload, params, scale, seed))
 
 
 def run_seeds(
@@ -190,7 +264,11 @@ def run_seeds(
     params: SystemParams,
     scale: ExperimentScale,
 ) -> list[RunMetrics]:
-    return [run_one(workload, params, scale, seed) for seed in scale.seeds]
+    """Deprecated: use ``Runner.run_seeds(...)``."""
+    from repro.analysis.parallel import get_default_runner
+
+    _deprecated("run_seeds(...)", "Runner.run_seeds(...)")
+    return get_default_runner().run_seeds(workload, params, scale)
 
 
 def normalized_time(
@@ -199,15 +277,11 @@ def normalized_time(
     baseline: SystemParams,
     scale: ExperimentScale,
 ) -> float:
-    """Geomean over seeds of cycles(params)/cycles(baseline)."""
-    ratios = []
-    for seed in scale.seeds:
-        a = run_one(workload, params, scale, seed)
-        b = run_one(workload, baseline, scale, seed)
-        ratios.append(a.cycles / b.cycles)
-    return geomean(ratios)
+    """Geomean over seeds of cycles(params)/cycles(baseline).
 
+    Convenience wrapper over the shared default Runner; prefer
+    ``Runner.normalized_time`` to control jobs/caching.
+    """
+    from repro.analysis.parallel import get_default_runner
 
-def mean_over_seeds(metrics: list[RunMetrics], attr: str) -> float:
-    values = [getattr(m, attr) for m in metrics]
-    return sum(values) / len(values) if values else 0.0
+    return get_default_runner().normalized_time(workload, params, baseline, scale)

@@ -229,6 +229,24 @@ def validate_figure(name: str, fig: FigureData) -> list[CheckResult]:
     return validator(fig)
 
 
+def run_validation(
+    names=None, scale=None, runner=None
+) -> list[CheckResult]:
+    """Regenerate the named figures through one Runner and validate them.
+
+    Sharing a :class:`~repro.analysis.parallel.Runner` across figures lets
+    a parallel/cached validation campaign reuse the eager/lazy baselines
+    that most figures have in common.
+    """
+    from repro.analysis.figures import ALL_FIGURES
+
+    results: list[CheckResult] = []
+    for name in sorted(VALIDATORS) if names is None else names:
+        fig = ALL_FIGURES[name](scale, runner=runner)
+        results.extend(validate_figure(name, fig))
+    return results
+
+
 def validate_all(figures: dict[str, FigureData]) -> list[CheckResult]:
     results: list[CheckResult] = []
     for name, fig in figures.items():

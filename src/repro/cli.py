@@ -7,7 +7,15 @@ figure     regenerate one of the paper's figures/tables
 microbench run the Sec. II-A fence microbenchmark
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
+validate   check the paper's qualitative claims end to end
 lint       static protocol + convention lint over the simulator sources
+check      lint + tier-1 test suite (the CI gate)
+
+``figure``, ``sweep`` and ``validate`` accept ``--jobs/-j N`` to fan the
+(workload × config × seed) job grid across worker processes, and
+``--cache-dir``/``--no-cache`` to control the persistent on-disk result
+cache (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  A warm cache
+re-renders a figure without running a single simulation.
 """
 
 from __future__ import annotations
@@ -16,8 +24,9 @@ import argparse
 import sys
 
 from repro.analysis.figures import ALL_FIGURES
+from repro.analysis.parallel import Runner, RunSpec, default_cache_dir
 from repro.analysis.report import render_table
-from repro.analysis.runner import scale_by_name
+from repro.analysis.runner import default_scale
 from repro.common.params import AtomicMode, SystemParams
 from repro.common.stats import geomean
 from repro.isa.instructions import AtomicOp
@@ -29,6 +38,10 @@ from repro.workloads.profiles import WORKLOADS, get_profile
 from repro.workloads.synthetic import build_program
 
 
+class UsageError(Exception):
+    """A bad invocation that should exit with status 2, not a traceback."""
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threads", type=int, default=8)
     parser.add_argument("--instructions", type=int, default=5000)
@@ -38,6 +51,52 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=("quick", "small", "paper"),
         default="small",
         help="system configuration preset",
+    )
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default=None,
+        metavar="{smoke,quick,full,paper}",
+        help="experiment scale (default quick)",
+    )
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation job grid (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory"
+        " (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk result cache",
+    )
+
+
+def _resolve_scale(args):
+    try:
+        return default_scale(args.scale)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+
+
+def _runner(args) -> Runner:
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+    return Runner(
+        jobs=args.jobs, cache_dir=cache_dir, progress=sys.stderr.isatty()
     )
 
 
@@ -110,11 +169,29 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_check(args) -> int:
+    """The CI gate: protocol/convention lint plus the tier-1 test suite."""
+    import subprocess
+
+    print("== repro lint ==")
+    lint_rc = cmd_lint(args)
+    if args.lint_only:
+        return lint_rc
+    print("== tier-1 tests ==")
+    cmd = [sys.executable, "-m", "pytest", "-x", "-q"] + (
+        args.pytest_args or ["tests"]
+    )
+    test_rc = subprocess.call(cmd)
+    return lint_rc or test_rc
+
+
 def cmd_figure(args) -> int:
     fn = ALL_FIGURES[args.figure]
-    scale = scale_by_name(args.scale)
-    fig = fn(scale)
+    scale = _resolve_scale(args)
+    runner = _runner(args)
+    fig = fn(scale, runner=runner)
     print(fig.render())
+    print(f"repro: {runner.summary()}", file=sys.stderr)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(fig.render())
@@ -152,27 +229,43 @@ def cmd_list(_args) -> int:
         )
     )
     print("figures:", ", ".join(sorted(ALL_FIGURES)))
+    print(
+        "hint: figure/sweep/validate accept -j/--jobs N (parallel workers),"
+        " --cache-dir DIR and --no-cache (persistent result cache)"
+    )
     return 0
 
 
 def cmd_sweep(args) -> int:
     params = _params(args)
+    runner = _runner(args)
     base_profile = get_profile(args.workload)
     values = [float(v) for v in args.values.split(",")]
-    rows = []
-    for value in values:
+    threads = min(args.threads, params.num_cores)
+    eager = params.with_atomic_mode(AtomicMode.EAGER)
+    lazy = params.with_atomic_mode(AtomicMode.LAZY)
+
+    def specs_for(value: float, config: SystemParams) -> list[RunSpec]:
         profile = base_profile.with_overrides(
             **{args.knob: value}, name=f"{args.workload}-sweep"
         )
-        ratios = []
-        for seed in range(args.seeds):
-            program = build_program(
-                profile, min(args.threads, params.num_cores),
-                args.instructions, seed=seed,
-            )
-            eager = simulate(params.with_atomic_mode(AtomicMode.EAGER), program)
-            lazy = simulate(params.with_atomic_mode(AtomicMode.LAZY), program)
-            ratios.append(lazy.cycles / eager.cycles)
+        return [
+            RunSpec(profile, config, threads, args.instructions, seed)
+            for seed in range(args.seeds)
+        ]
+
+    # One flat job grid so --jobs fans the whole sweep out at once.
+    runner.prefetch(
+        [s for value in values for cfg in (eager, lazy)
+         for s in specs_for(value, cfg)]
+    )
+    rows = []
+    for value in values:
+        eager_runs = runner.run_many(specs_for(value, eager))
+        lazy_runs = runner.run_many(specs_for(value, lazy))
+        ratios = [
+            lz.cycles / eg.cycles for lz, eg in zip(lazy_runs, eager_runs)
+        ]
         rows.append([value, round(geomean(ratios), 3)])
     print(
         render_table(
@@ -181,6 +274,7 @@ def cmd_sweep(args) -> int:
             rows,
         )
     )
+    print(f"repro: {runner.summary()}", file=sys.stderr)
     return 0
 
 
@@ -225,18 +319,18 @@ def cmd_trace(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from repro.analysis.validate import VALIDATORS, validate_figure
+    from repro.analysis.validate import VALIDATORS, run_validation
 
-    scale = scale_by_name(args.scale)
+    scale = _resolve_scale(args)
+    runner = _runner(args)
     names = args.figures or sorted(VALIDATORS)
+    results = run_validation(names, scale, runner=runner)
     failures = 0
-    for name in names:
-        fig = ALL_FIGURES[name](scale)
-        results = validate_figure(name, fig)
-        for result in results:
-            print(result)
-            failures += not result.passed
+    for result in results:
+        print(result)
+        failures += not result.passed
     print(f"\n{failures} failing check(s)" if failures else "\nall checks passed")
+    print(f"repro: {runner.summary()}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -272,11 +366,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--json", action="store_true", help="machine output")
     p_lint.set_defaults(fn=cmd_lint)
 
+    p_check = sub.add_parser(
+        "check", help="CI gate: lint + tier-1 tests (exit nonzero on failure)"
+    )
+    p_check.add_argument(
+        "--root", help="lint a tree other than the installed repro package"
+    )
+    p_check.add_argument("--json", action="store_true", help="machine lint output")
+    p_check.add_argument(
+        "--lint-only", action="store_true", help="skip the test-suite stage"
+    )
+    p_check.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="arguments forwarded to pytest (default: tests)",
+    )
+    p_check.set_defaults(fn=cmd_check)
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))
-    p_fig.add_argument(
-        "--scale", choices=("smoke", "quick", "full", "paper"), default="quick"
-    )
+    _add_scale(p_fig)
+    _add_runner_flags(p_fig)
     p_fig.add_argument("--output", help="also write the table to a file")
     p_fig.set_defaults(fn=cmd_figure)
 
@@ -291,9 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser(
         "validate", help="check the paper's qualitative claims end to end"
     )
-    p_val.add_argument(
-        "--scale", choices=("smoke", "quick", "full", "paper"), default="quick"
-    )
+    _add_scale(p_val)
+    _add_runner_flags(p_val)
     p_val.add_argument("--figures", nargs="*", help="subset of figures to check")
     p_val.set_defaults(fn=cmd_validate)
 
@@ -316,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--values", default="0.0,0.3,0.6,0.9")
     p_sweep.add_argument("--seeds", type=int, default=2)
     _add_common(p_sweep)
+    _add_runner_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     return parser
@@ -323,7 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except UsageError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,6 +33,9 @@ from repro.sanitize.lint import (
 )
 
 WALLCLOCK_MODULES = ("time", "datetime")
+# Host-side experiment orchestration: wall-clock feeds the progress/ETA
+# line of the parallel runner only, never simulated cycle counts.
+WALLCLOCK_EXEMPT = ("analysis/parallel.py",)
 # The sanctioned seeded-RNG factory module may mention numpy.random freely.
 RANDOM_EXEMPT = ("common/rng.py",)
 # numpy.random attributes that construct explicitly-seeded generators.
@@ -43,11 +46,16 @@ SCHEDULE_METHODS = ("schedule", "schedule_in")
 def run(root: Path) -> list[LintFinding]:
     findings: list[LintFinding] = []
     random_exempt = {str(root / p) for p in RANDOM_EXEMPT}
+    wallclock_exempt = {str(root / p) for p in WALLCLOCK_EXEMPT}
     for path in iter_py_files(root):
         tree = parse_file(path)
         relpath = rel(path, root)
         exempt = str(path) in random_exempt
-        findings.extend(_check_imports(tree, relpath, exempt))
+        findings.extend(
+            _check_imports(
+                tree, relpath, exempt, str(path) in wallclock_exempt
+            )
+        )
         if not exempt:
             findings.extend(_check_numpy_random(tree, relpath))
         findings.extend(_check_cycle_arithmetic(tree, relpath))
@@ -56,7 +64,10 @@ def run(root: Path) -> list[LintFinding]:
 
 
 def _check_imports(
-    tree: ast.Module, relpath: str, random_exempt: bool
+    tree: ast.Module,
+    relpath: str,
+    random_exempt: bool,
+    wallclock_exempt: bool = False,
 ) -> list[LintFinding]:
     findings = []
     for node in ast.walk(tree):
@@ -66,7 +77,7 @@ def _check_imports(
         elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
             roots = [node.module.split(".")[0]]
         for mod in roots:
-            if mod in WALLCLOCK_MODULES:
+            if mod in WALLCLOCK_MODULES and not wallclock_exempt:
                 findings.append(LintFinding(
                     relpath, node.lineno, "wallclock",
                     f"importing {mod!r}: simulation code must never read "

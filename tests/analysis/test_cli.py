@@ -156,3 +156,67 @@ class TestLintCommand:
     def test_lint_smoke(self, capsys):
         assert main(["lint"]) == 0
         assert "lint clean" in capsys.readouterr().out
+
+
+class TestRunnerFlags:
+    def test_figure_accepts_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["figure", "fig5", "-j", "4", "--cache-dir", "/tmp/c", "--scale", "smoke"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert not args.no_cache
+
+    def test_sweep_accepts_no_cache(self):
+        args = build_parser().parse_args(["sweep", "pc", "--no-cache", "--jobs", "2"])
+        assert args.no_cache
+        assert args.jobs == 2
+
+    def test_validate_accepts_runner_flags(self):
+        args = build_parser().parse_args(["validate", "-j", "3"])
+        assert args.jobs == 3
+
+    def test_list_documents_runner_flags(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--cache-dir" in out
+
+    def test_warm_cache_figure_runs_zero_simulations(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["figure", "fig1", "--scale", "smoke", "--cache-dir", cache]) == 0
+        first = capsys.readouterr()
+        assert "0 simulated" not in first.err
+        assert main(["figure", "fig1", "--scale", "smoke", "--cache-dir", cache]) == 0
+        second = capsys.readouterr()
+        assert "0 simulated" in second.err
+        assert first.out == second.out
+
+
+class TestUsageErrors:
+    def test_bogus_scale_exits_2_without_traceback(self, capsys):
+        rc = main(["figure", "table1", "--scale", "bogus"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "repro figure: error:" in captured.err
+        assert "bogus" in captured.err
+        assert "smoke" in captured.err  # names the valid scales
+        assert "Traceback" not in captured.err
+
+    def test_validate_bogus_scale_exits_2(self, capsys):
+        rc = main(["validate", "--scale", "nope", "--figures", "fig1"])
+        assert rc == 2
+        assert "repro validate: error:" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_parser_accepts_check(self):
+        args = build_parser().parse_args(["check", "--lint-only"])
+        assert args.fn.__name__ == "cmd_check"
+        assert args.lint_only
+
+    def test_check_lint_only_smoke(self, capsys):
+        assert main(["check", "--lint-only"]) == 0
+        out = capsys.readouterr().out
+        assert "== repro lint ==" in out
+        assert "lint clean" in out

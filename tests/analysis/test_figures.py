@@ -7,7 +7,7 @@ well-formed data for every workload and configuration.
 
 import pytest
 
-from repro.analysis import runner
+from repro.analysis.parallel import reset_default_runner
 from repro.analysis.figures import (
     ALL_FIGURES,
     ATOMIC_WORKLOADS,
@@ -25,10 +25,11 @@ from repro.analysis.runner import SMOKE
 
 @pytest.fixture(scope="module", autouse=True)
 def shared_cache():
-    # One cache for the whole module: figure functions share baselines.
-    runner.clear_cache()
+    # One default runner for the whole module: figure functions share
+    # the eager/lazy baselines through its in-memory memo.
+    reset_default_runner()
     yield
-    runner.clear_cache()
+    reset_default_runner()
 
 
 class TestFigureStructure:

@@ -1,0 +1,225 @@
+"""Runner/RunSpec tests: content hashing, disk cache, fan-out, retries."""
+
+import dataclasses
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.parallel import (
+    CACHE_SCHEMA_VERSION,
+    Runner,
+    RunnerError,
+    RunSpec,
+    default_cache_dir,
+    execute_spec,
+    get_default_runner,
+    reset_default_runner,
+)
+from repro.analysis.runner import SMOKE, AtomicMode, base_params, config
+
+PARAMS = base_params(SMOKE)
+EAGER = config(PARAMS, AtomicMode.EAGER)
+LAZY = config(PARAMS, AtomicMode.LAZY)
+
+
+def _spec(seed: int = 0, params=PARAMS) -> RunSpec:
+    return RunSpec.build("fmm", params, SMOKE, seed=seed)
+
+
+def _cache_files(cache_dir) -> list[pathlib.Path]:
+    return sorted(pathlib.Path(cache_dir).glob("*/*.json"))
+
+
+class TestRunSpec:
+    def test_hashable_and_equal(self):
+        assert _spec() == _spec()
+        assert hash(_spec()) == hash(_spec())
+
+    def test_content_hash_stable(self):
+        assert _spec().content_hash() == _spec().content_hash()
+
+    def test_content_hash_sensitive_to_seed_and_params(self):
+        hashes = {
+            _spec().content_hash(),
+            _spec(seed=1).content_hash(),
+            _spec(params=LAZY).content_hash(),
+        }
+        assert len(hashes) == 3
+
+    def test_threads_clamped_to_cores(self):
+        few_cores = dataclasses.replace(PARAMS, num_cores=2)
+        assert RunSpec.build("fmm", few_cores, SMOKE).num_threads == 2
+
+    def test_for_seeds_covers_scale(self):
+        specs = RunSpec.for_seeds("fmm", PARAMS, SMOKE)
+        assert [s.seed for s in specs] == list(SMOKE.seeds)
+
+    def test_grid_is_workloads_times_configs_times_seeds(self):
+        specs = RunSpec.grid(("fmm", "pc"), (EAGER, LAZY), SMOKE)
+        assert len(specs) == 2 * 2 * len(SMOKE.seeds)
+        assert len(set(specs)) == len(specs)
+
+
+class TestDiskCache:
+    def test_warm_cache_is_bit_identical_and_simulation_free(self, tmp_path):
+        fresh = Runner(cache_dir=tmp_path).run(_spec())
+        warm = Runner(cache_dir=tmp_path)
+        again = warm.run(_spec())
+        assert again == fresh
+        assert again.to_json() == fresh.to_json()
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == 1
+
+    def test_cache_layout_and_atomic_publish(self, tmp_path):
+        Runner(cache_dir=tmp_path).run(_spec())
+        files = _cache_files(tmp_path)
+        assert len(files) == 1
+        digest = _spec().content_hash()
+        assert files[0].name == f"{digest}.json"
+        assert files[0].parent.name == digest[:2]
+        # Atomic publish leaves no temp droppings behind.
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_corrupted_entry_discarded_and_recomputed(self, tmp_path):
+        fresh = Runner(cache_dir=tmp_path).run(_spec())
+        (path,) = _cache_files(tmp_path)
+        path.write_text("{ this is not json")
+        r = Runner(cache_dir=tmp_path)
+        assert r.run(_spec()) == fresh
+        assert r.stats.corrupt_discarded == 1
+        assert r.stats.simulated == 1
+        # The recomputed result was re-published to disk.
+        assert json.loads(path.read_text())["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_truncated_entry_discarded_and_recomputed(self, tmp_path):
+        fresh = Runner(cache_dir=tmp_path).run(_spec())
+        (path,) = _cache_files(tmp_path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        r = Runner(cache_dir=tmp_path)
+        assert r.run(_spec()) == fresh
+        assert r.stats.corrupt_discarded == 1
+
+    def test_schema_mismatch_discarded(self, tmp_path):
+        Runner(cache_dir=tmp_path).run(_spec())
+        (path,) = _cache_files(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        r = Runner(cache_dir=tmp_path)
+        r.run(_spec())
+        assert r.stats.corrupt_discarded == 1
+        assert r.stats.simulated == 1
+
+    def test_resume_partial_sweep(self, tmp_path):
+        specs = RunSpec.grid(("fmm",), (EAGER, LAZY), SMOKE)
+        Runner(cache_dir=tmp_path).run_many(specs[: len(specs) // 2])
+        resumed = Runner(cache_dir=tmp_path)
+        resumed.run_many(specs)
+        assert resumed.stats.disk_hits == len(specs) // 2
+        assert resumed.stats.simulated == len(specs) - len(specs) // 2
+
+    def test_no_cache_dir_means_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        r = Runner(cache_dir=None)
+        a = r.run(_spec())
+        assert r.run(_spec()) is a  # memo hit, same object
+        assert not list(tmp_path.glob("**/*.json"))
+
+    def test_default_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        assert default_cache_dir() == tmp_path / "cc"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+class TestParallelExecution:
+    def test_jobs4_equals_serial_on_smoke(self):
+        specs = RunSpec.grid(("fmm", "pc"), (EAGER, LAZY), SMOKE)
+        serial = Runner(jobs=1).run_many(specs)
+        parallel = Runner(jobs=4).run_many(specs)
+        assert parallel == serial
+        assert [m.to_json() for m in parallel] == [m.to_json() for m in serial]
+
+    def test_run_many_preserves_input_order_and_dedupes(self):
+        specs = [_spec(0), _spec(1), _spec(0)]
+        r = Runner(jobs=1)
+        out = r.run_many(specs)
+        assert len(out) == 3
+        assert out[0] is out[2]
+        assert r.stats.simulated == 2
+
+    def test_parallel_results_reach_disk_cache(self, tmp_path):
+        specs = RunSpec.grid(("fmm",), (EAGER, LAZY), SMOKE)
+        Runner(jobs=4, cache_dir=tmp_path).run_many(specs)
+        assert len(_cache_files(tmp_path)) == len(specs)
+        warm = Runner(jobs=4, cache_dir=tmp_path)
+        warm.run_many(specs)
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == len(specs)
+
+
+def _crash_once_worker(spec):
+    """Fails on first invocation (per sentinel file), then succeeds."""
+    sentinel = pathlib.Path(os.environ["REPRO_TEST_SENTINEL"])
+    if not sentinel.exists():
+        sentinel.write_text("crashed once")
+        raise RuntimeError("synthetic worker crash")
+    return execute_spec(spec)
+
+
+def _always_fail_worker(spec):
+    raise RuntimeError("synthetic permanent failure")
+
+
+def _exit_once_worker(spec):
+    """Hard-kills its process on first invocation (breaks the pool)."""
+    sentinel = pathlib.Path(os.environ["REPRO_TEST_SENTINEL"])
+    if not sentinel.exists():
+        sentinel.write_text("died once")
+        os._exit(13)
+    return execute_spec(spec)
+
+
+class TestRetries:
+    def test_serial_retry_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SENTINEL", str(tmp_path / "s"))
+        r = Runner(jobs=1, retries=2, worker=_crash_once_worker)
+        metrics = r.run(_spec())
+        assert metrics == execute_spec(_spec())
+        assert r.stats.retries == 1
+
+    def test_retry_budget_exhausted_raises_runner_error(self):
+        r = Runner(jobs=1, retries=1, worker=_always_fail_worker)
+        with pytest.raises(RunnerError, match="after 2 attempts"):
+            r.run(_spec())
+
+    def test_pool_rebuilt_after_worker_death(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SENTINEL", str(tmp_path / "s"))
+        specs = [_spec(seed) for seed in (0, 1)]
+        r = Runner(jobs=2, retries=2, worker=_exit_once_worker)
+        out = r.run_many(specs)
+        assert out == [execute_spec(s) for s in specs]
+        assert r.stats.retries >= 1
+
+
+class TestDefaultRunner:
+    def test_shared_singleton(self):
+        reset_default_runner()
+        try:
+            a = get_default_runner()
+            assert get_default_runner() is a
+            assert a.jobs == 1
+            assert a.cache_dir is None
+            reset_default_runner()
+            assert get_default_runner() is not a
+        finally:
+            reset_default_runner()
+
+    def test_summary_mentions_cache_location(self, tmp_path):
+        r = Runner(cache_dir=tmp_path)
+        r.run(_spec())
+        assert str(tmp_path) in r.summary()
+        assert "1 simulated" in r.summary()

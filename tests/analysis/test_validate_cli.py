@@ -26,7 +26,9 @@ def stub_figures(monkeypatch):
     def install(good: bool):
         import repro.cli as cli
 
-        monkeypatch.setitem(cli.ALL_FIGURES, "fig1", lambda scale: fake_fig1(good))
+        monkeypatch.setitem(
+            cli.ALL_FIGURES, "fig1", lambda scale, runner=None: fake_fig1(good)
+        )
 
     return install
 

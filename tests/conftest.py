@@ -7,6 +7,12 @@ import pytest
 from repro.common.params import AtomicMode, SystemParams
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    # Keep tests out of the user's real ~/.cache/repro result cache.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def quick_params() -> SystemParams:
     return SystemParams.quick()
