@@ -6,6 +6,7 @@ scripts, CI comparisons against recorded baselines, notebooks).
 
 from __future__ import annotations
 
+import enum
 import json
 import pathlib
 from dataclasses import asdict
@@ -13,6 +14,40 @@ from typing import Iterable
 
 from repro.analysis.report import FigureData
 from repro.analysis.runner import ExperimentScale, RunMetrics
+
+
+def _json_default(obj: object) -> object:
+    """Explicit serialization for the non-JSON types exports contain.
+
+    The old ``default=str`` silently stringified *anything* — a stray
+    object in a row became ``"<repro.Foo object at 0x...>"`` in the bundle
+    and the bug surfaced only in whatever consumed the file.  Unknown
+    types now raise ``TypeError`` at export time instead.
+    """
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, pathlib.PurePath):
+        return str(obj)
+    # numpy scalars leak out of analysis code when numpy is around; the
+    # simulator itself never requires it.
+    np = globals().get("_np")
+    if np is None:
+        try:
+            import numpy as np  # type: ignore[no-redef]
+        except ImportError:
+            np = False
+        globals()["_np"] = np
+    if np:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+    raise TypeError(
+        f"{type(obj).__name__} is not JSON-exportable; convert it before"
+        f" export (got {obj!r})"
+    )
 
 
 def figure_to_dict(fig: FigureData) -> dict:
@@ -50,7 +85,9 @@ def export_figures(
         "figures": [figure_to_dict(fig) for fig in figures],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, default=str))
+    path.write_text(
+        json.dumps(payload, indent=2, default=_json_default, allow_nan=False)
+    )
     return path
 
 
@@ -69,6 +106,11 @@ def export_metrics(
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps([metrics_to_dict(m) for m in metrics], indent=2, default=str)
+        json.dumps(
+            [metrics_to_dict(m) for m in metrics],
+            indent=2,
+            default=_json_default,
+            allow_nan=False,
+        )
     )
     return path

@@ -41,7 +41,9 @@ from repro.workloads.profiles import WorkloadProfile, get_profile
 from repro.workloads.synthetic import build_program
 
 #: Bump when the cache file layout (not the simulator) changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: RunMetrics gained ``breakdown_detail``; all cache writes are strict
+#: JSON (``allow_nan=False``, empty-accumulator min/max as null).
+CACHE_SCHEMA_VERSION = 2
 
 
 class RunnerError(RuntimeError):
@@ -134,7 +136,7 @@ class RunSpec:
         }
 
     def content_hash(self) -> str:
-        payload = json.dumps(self.canonical_dict(), sort_keys=True)
+        payload = json.dumps(self.canonical_dict(), sort_keys=True, allow_nan=False)
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -261,6 +263,7 @@ class Runner:
                 "metrics": metrics.to_dict(),
             },
             sort_keys=True,
+            allow_nan=False,
         )
         # Atomic publish: a reader never sees a truncated entry, and a
         # killed sweep leaves only complete files to resume from.

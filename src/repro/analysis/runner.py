@@ -144,6 +144,9 @@ class RunMetrics:
     older_unexecuted_mean: float
     younger_started_mean: float
     counters: dict[str, int] = field(default_factory=dict)
+    # Per-phase total/count/min/max (schema v2).  Empty accumulators carry
+    # null min/max — never Infinity, so strict (allow_nan=False) dumps work.
+    breakdown_detail: dict[str, dict] = field(default_factory=dict)
 
     @staticmethod
     def from_result(result: RunResult) -> "RunMetrics":
@@ -181,6 +184,7 @@ class RunMetrics:
                 "younger_started_at_lazy_issue"
             ).mean,
             counters=counters,
+            breakdown_detail=result.breakdown.to_dict(),
         )
 
     # -- stable serialization (the cache-file schema) ------------------
@@ -200,6 +204,10 @@ class RunMetrics:
             "older_unexecuted_mean": self.older_unexecuted_mean,
             "younger_started_mean": self.younger_started_mean,
             "counters": dict(self.counters),
+            "breakdown_detail": {
+                phase: dict(detail)
+                for phase, detail in self.breakdown_detail.items()
+            },
         }
 
     @classmethod
@@ -213,7 +221,10 @@ class RunMetrics:
         return cls(**{n: payload[n] for n in names})
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True)
+        # allow_nan=False: a non-finite metric is a bug upstream (see the
+        # Accumulator.to_dict contract); fail here rather than emit
+        # ``Infinity``, which is not JSON.
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "RunMetrics":

@@ -278,8 +278,22 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+_TRACE_ACTIONS = ("generate", "inspect", "run")
+
+
 def cmd_trace(args) -> int:
-    if args.action == "generate":
+    """Dispatch on the first positional: a trace-file action keeps the
+    historical program-trace behaviour; a workload name (or ``fig2``)
+    records a cycle-level event trace (see :mod:`repro.obs`)."""
+    if args.target in _TRACE_ACTIONS:
+        return _cmd_trace_program(args)
+    return _cmd_trace_events(args)
+
+
+def _cmd_trace_program(args) -> int:
+    if args.path is None:
+        raise UsageError(f"trace {args.target} requires a trace-file path")
+    if args.target == "generate":
         program = build_program(
             args.workload, args.threads, args.instructions, seed=args.seed
         )
@@ -287,7 +301,7 @@ def cmd_trace(args) -> int:
         print(f"wrote {program.total_instructions()} instructions to {path}")
         return 0
     program = load_program(args.path)
-    if args.action == "inspect":
+    if args.target == "inspect":
         stats = analyze_program(program)
         rows = [
             [
@@ -308,13 +322,65 @@ def cmd_trace(args) -> int:
             )
         )
         return 0
-    # action == "run"
+    # target == "run"
     params = _params(args).with_atomic_mode(AtomicMode(args.mode))
     result = simulate(params, program)
     print(
         f"{program.name}: {result.cycles:,} cycles, ipc={result.ipc:.2f}, "
         f"atomics={result.atomics_committed()}"
     )
+    return 0
+
+
+def _cmd_trace_events(args) -> int:
+    from repro.obs import CATEGORIES, EventTrace, TraceConfig, write_chrome_trace
+
+    if args.target == "fig2":
+        program = build_microbench(
+            AtomicOp(args.op), args.variant, iterations=args.instructions
+        )
+    elif args.target in WORKLOADS:
+        params_probe = _params(args)
+        program = build_program(
+            args.target,
+            min(args.threads, params_probe.num_cores),
+            args.instructions,
+            seed=args.seed,
+        )
+    else:
+        raise UsageError(
+            f"unknown trace target {args.target!r}; expected an action"
+            f" ({', '.join(_TRACE_ACTIONS)}), a workload"
+            f" ({', '.join(sorted(WORKLOADS))}) or 'fig2'"
+        )
+    events = frozenset(CATEGORIES)
+    if args.events:
+        requested = frozenset(
+            e.strip() for e in args.events.split(",") if e.strip()
+        )
+        unknown = requested - set(CATEGORIES)
+        if unknown:
+            raise UsageError(
+                f"unknown event categor(y/ies) {', '.join(sorted(unknown))};"
+                f" valid: {', '.join(CATEGORIES)}"
+            )
+        events = requested
+    try:
+        config = TraceConfig(
+            events=events, capacity=args.capacity, sample_every=args.sample
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+    tracer = EventTrace(config)
+    params = _params(args).with_atomic_mode(AtomicMode(args.mode))
+    result = simulate(params, program, trace=tracer)
+    out = write_chrome_trace(tracer, args.out)
+    print(
+        f"{program.name}: {result.cycles:,} cycles, ipc={result.ipc:.2f}, "
+        f"atomics={result.atomics_committed()}"
+    )
+    print(f"trace: {tracer.summary()}")
+    print(f"wrote {out} (open at https://ui.perfetto.dev or chrome://tracing)")
     return 0
 
 
@@ -406,12 +472,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--figures", nargs="*", help="subset of figures to check")
     p_val.set_defaults(fn=cmd_validate)
 
-    p_trace = sub.add_parser("trace", help="generate / inspect / run trace files")
-    p_trace.add_argument("action", choices=("generate", "inspect", "run"))
-    p_trace.add_argument("path", help="trace JSON file")
+    p_trace = sub.add_parser(
+        "trace",
+        help="record a cycle-level event trace of a workload"
+        " (or generate / inspect / run program trace files)",
+    )
+    p_trace.add_argument(
+        "target",
+        help="a workload name or 'fig2' to record an event trace;"
+        " or an action (generate/inspect/run) on a program trace file",
+    )
+    p_trace.add_argument(
+        "path", nargs="?", default=None,
+        help="program trace JSON file (generate/inspect/run only)",
+    )
     p_trace.add_argument("--workload", choices=sorted(WORKLOADS), default="pc")
     p_trace.add_argument("--mode", default="eager",
                          choices=[m.value for m in AtomicMode])
+    p_trace.add_argument(
+        "--out", default="trace.json",
+        help="output file for the Chrome/Perfetto event trace",
+    )
+    p_trace.add_argument(
+        "--events", default=None,
+        help="comma-separated categories to record"
+        " (instr,atomic,coh,dir; default all)",
+    )
+    p_trace.add_argument(
+        "--capacity", type=int, default=1 << 18,
+        help="ring-buffer capacity; oldest events are dropped beyond it",
+    )
+    p_trace.add_argument(
+        "--sample", type=int, default=1,
+        help="record every Nth instr/coh event (default 1 = all)",
+    )
+    p_trace.add_argument(
+        "--op", default="faa", choices=[op.value for op in AtomicOp],
+        help="atomic op for the fig2 microbenchmark target",
+    )
+    p_trace.add_argument(
+        "--variant", default="lock", choices=sorted(VARIANTS),
+        help="microbenchmark variant for the fig2 target",
+    )
     _add_common(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 

@@ -68,6 +68,28 @@ class Accumulator:
         self.min = float("inf")
         self.max = float("-inf")
 
+    def to_dict(self) -> dict[str, object]:
+        """Strict-JSON-safe view: the ±inf min/max identities of an empty
+        accumulator serialize as ``null``, never as ``Infinity`` (which is
+        not JSON and breaks ``allow_nan=False`` consumers)."""
+        empty = self.count == 0
+        return {
+            "total": self.total,
+            "count": self.count,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, object]) -> "Accumulator":
+        acc = cls(name)
+        acc.total = float(data["total"])  # type: ignore[arg-type]
+        acc.count = int(data["count"])  # type: ignore[arg-type]
+        lo, hi = data["min"], data["max"]
+        acc.min = float("inf") if lo is None else float(lo)  # type: ignore[arg-type]
+        acc.max = float("-inf") if hi is None else float(hi)  # type: ignore[arg-type]
+        return acc
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Accumulator({self.name}: mean={self.mean:.2f}, n={self.count})"
 
@@ -153,6 +175,30 @@ class AtomicLatencyBreakdown:
             "issue_to_lock": self.issue_to_lock.mean,
             "lock_to_unlock": self.lock_to_unlock.mean,
         }
+
+    def to_dict(self) -> dict[str, dict[str, object]]:
+        """Full per-phase detail (total/count/min/max), strict-JSON safe."""
+        return {
+            "dispatch_to_issue": self.dispatch_to_issue.to_dict(),
+            "issue_to_lock": self.issue_to_lock.to_dict(),
+            "lock_to_unlock": self.lock_to_unlock.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict[str, dict[str, object]]
+    ) -> "AtomicLatencyBreakdown":
+        return cls(
+            dispatch_to_issue=Accumulator.from_dict(
+                "dispatch_to_issue", data["dispatch_to_issue"]
+            ),
+            issue_to_lock=Accumulator.from_dict(
+                "issue_to_lock", data["issue_to_lock"]
+            ),
+            lock_to_unlock=Accumulator.from_dict(
+                "lock_to_unlock", data["lock_to_unlock"]
+            ),
+        )
 
 
 class StatGroup:

@@ -48,6 +48,7 @@ from repro.row.mechanism import RowMechanism
 from repro.sanitize.errors import ProtocolInvariantError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
     from repro.sim.engine import EventEngine
 
 _UNSET = -1
@@ -64,6 +65,7 @@ class Core:
         engine: "EventEngine",
         controller: PrivateCacheController,
         image: MemoryImage,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.core_id = core_id
         self.params = params
@@ -74,9 +76,12 @@ class Core:
         self.mode = params.atomic_mode
         self.stats = StatGroup(f"core{core_id}")
         self.breakdown = AtomicLatencyBreakdown()
+        # Observer-only hook (repro.obs): emissions are guarded with
+        # ``is not None`` so a disabled trace costs one branch per site.
+        self.tracer = tracer
 
         self.row_mech = (
-            RowMechanism(params.row, self.stats)
+            RowMechanism(params.row, self.stats, tracer=tracer, core_id=core_id)
             if self.mode is AtomicMode.ROW
             else None
         )
@@ -147,6 +152,13 @@ class Core:
 
     def note_activity(self) -> None:
         self._event_activity = True
+
+    def _emit_instr(self, dyn: DynInstr, cycle: int, phase: str) -> None:
+        """Record one instruction-lifecycle milestone (tracer is non-None)."""
+        self.tracer.instr(
+            cycle, self.core_id, dyn.uid, dyn.seq, dyn.pc,
+            dyn.cls.name, phase,
+        )
 
     def _is_line_locked(self, line: int) -> bool:
         return self.locked_lines.get(line, 0) > 0
@@ -258,6 +270,8 @@ class Core:
         self.rob.append(dyn)
         self.inflight_by_seq[dyn.seq] = dyn
         self.stats.counter("dispatched").add()
+        if self.tracer is not None:
+            self._emit_instr(dyn, now, "dispatch")
 
         # Register dataflow: count unresolved producers.
         n = 0
@@ -302,7 +316,7 @@ class Core:
             self.fenced_atomics.append(dyn)
         else:  # ROW
             assert self.row_mech is not None
-            eager = self.row_mech.decide_eager(dyn.pc)
+            eager = self.row_mech.decide_eager(dyn.pc, cycle=dyn.dispatch_cycle)
             dyn.exec_eager = eager
             dyn.predicted_contended = not eager
         entry.only_calc_addr = (
@@ -381,6 +395,8 @@ class Core:
         dyn.issued = True
         dyn.issue_cycle = now
         self.iq_used -= 1
+        if self.tracer is not None:
+            self._emit_instr(dyn, now, "issue")
         self._schedule_complete(dyn, dyn.static.exec_latency)
 
     def _issue_store(self, dyn: DynInstr, now: int) -> None:
@@ -388,6 +404,8 @@ class Core:
         dyn.issue_cycle = now
         dyn.addr_computed = True
         self.iq_used -= 1
+        if self.tracer is not None:
+            self._emit_instr(dyn, now, "issue")
         if self.storeset is not None:
             self.storeset.store_resolved(dyn)
             waiters = self.storeset_waiting.pop(dyn.uid, None)
@@ -422,6 +440,8 @@ class Core:
             dyn.issued = True
             dyn.issue_cycle = now
             self.iq_used -= 1
+            if self.tracer is not None:
+                self._emit_instr(dyn, now, "issue")
             dyn.fwd_store_seq = match.seq
             dyn.fwd_store_uid = match.uid
             if match.cls is InstrClass.ATOMIC:
@@ -434,6 +454,8 @@ class Core:
         dyn.issued = True
         dyn.issue_cycle = now
         self.iq_used -= 1
+        if self.tracer is not None:
+            self._emit_instr(dyn, now, "issue")
         dyn.mem_requested = True
         self.stats.counter("loads_to_memory").add()
         self.controller.access(
@@ -529,6 +551,8 @@ class Core:
         entry.request_issued_stamp = stamp(now, self.params.row.timestamp_bits)
         dyn.addr_computed = True
         self.stats.counter("atomics_issued").add()
+        if self.tracer is not None:
+            self._emit_instr(dyn, now, "issue")
         if dyn.exec_eager:
             self.stats.counter("atomics_issued_eager").add()
             self.stats.histogram("older_unexecuted_at_eager_issue").add(
@@ -786,6 +810,8 @@ class Core:
                 self.lq.popleft()
                 self.load_values[head.seq] = head.value
             self.stats.counter("committed").add()
+            if self.tracer is not None:
+                self._emit_instr(head, now, "commit")
             budget -= 1
             worked = True
         return worked
@@ -867,6 +893,13 @@ class Core:
         self.breakdown.record(
             dyn.dispatch_cycle, dyn.issue_cycle, dyn.lock_cycle, now
         )
+        if self.tracer is not None:
+            self.tracer.atomic_span(
+                now, self.core_id, dyn.pc, dyn.line,
+                dyn.dispatch_cycle, dyn.issue_cycle, dyn.lock_cycle,
+                dyn.exec_eager, dyn.predicted_contended,
+                entry.contended, entry.contended_truth,
+            )
 
     def _unlock_line(self, line: int) -> None:
         count = self.locked_lines.get(line, 0)

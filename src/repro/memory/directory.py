@@ -26,6 +26,7 @@ from repro.sanitize.errors import ProtocolInvariantError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memory.image import MemoryImage
+    from repro.obs.tracer import Tracer
     from repro.sim.engine import EventEngine
 
 
@@ -53,6 +54,7 @@ class DirectoryBank:
         engine: "EventEngine",
         stats: StatGroup | None = None,
         image: "MemoryImage | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.node = node
         self.params = params
@@ -62,6 +64,9 @@ class DirectoryBank:
         self.entries: dict[int, DirEntry] = {}
         # Far atomics (extension) execute against the memory image here.
         self.image = image
+        # Observer-only hook (repro.obs): every stable/blocked state edge
+        # goes through _set_state so the trace sees each transition once.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -70,6 +75,11 @@ class DirectoryBank:
         if e is None:
             e = self.entries[line] = DirEntry()
         return e
+
+    def _set_state(self, e: DirEntry, line: int, new: str) -> None:
+        if self.tracer is not None and e.state != new:
+            self.tracer.dir_transition(self.engine.now, self.node, line, e.state, new)
+        e.state = new
 
     def receive(self, msg: Message) -> None:
         """Entry point for all messages addressed to this bank."""
@@ -134,11 +144,11 @@ class DirectoryBank:
         if e.state == "I":
             delay = self._llc_fetch_delay(msg.line)
             self._grant_from_llc(msg, exclusive=True, delay=delay)
-            self._block(e, lambda: self._become_owner(e, req))
+            self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
         elif e.state == "S":
             delay = self._llc_fetch_delay(msg.line)
             self._grant_from_llc(msg, exclusive=False, delay=delay)
-            self._block(e, lambda: self._add_sharer(e, req))
+            self._block(e, msg.line, lambda: self._add_sharer(e, msg.line, req))
         elif e.state == "M":
             owner = e.owner
             if owner is None:
@@ -153,7 +163,7 @@ class DirectoryBank:
                 # Degenerate re-request (e.g. raced with own writeback).
                 delay = self._llc_fetch_delay(msg.line)
                 self._grant_from_llc(msg, exclusive=True, delay=delay)
-                self._block(e, lambda: self._become_owner(e, req))
+                self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
                 return
             fwd = Message(
                 MsgKind.FWD_GETS,
@@ -170,7 +180,9 @@ class DirectoryBank:
             )
             # Owner's dirty copy is written back to the LLC on the downgrade.
             self.l3.insert(msg.line)
-            self._block(e, lambda: self._downgrade_owner(e, owner, req))
+            self._block(
+                e, msg.line, lambda: self._downgrade_owner(e, msg.line, owner, req)
+            )
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"GETS in unexpected state {e.state}")
 
@@ -179,13 +191,13 @@ class DirectoryBank:
         if e.state == "I":
             delay = self._llc_fetch_delay(msg.line)
             self._grant_from_llc(msg, exclusive=True, delay=delay)
-            self._block(e, lambda: self._become_owner(e, req))
+            self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
         elif e.state == "S":
             targets = sorted(e.sharers - {req})
             lookup = self.params.l3_bank.hit_cycles
             if not targets:
                 self._grant_from_llc(msg, exclusive=True, delay=lookup)
-                self._block(e, lambda: self._become_owner(e, req))
+                self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
                 return
             self.stats.counter("invalidations_sent").add(len(targets))
             e.pending_acks = len(targets)
@@ -205,7 +217,7 @@ class DirectoryBank:
                     lookup,
                     lambda m=inv: self.engine.send(m, to_directory=False),
                 )
-            self._block(e, lambda: self._become_owner(e, req))
+            self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
         elif e.state == "M":
             owner = e.owner
             if owner is None:
@@ -219,7 +231,7 @@ class DirectoryBank:
             if owner == req:
                 delay = self._llc_fetch_delay(msg.line)
                 self._grant_from_llc(msg, exclusive=True, delay=delay)
-                self._block(e, lambda: self._become_owner(e, req))
+                self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
                 return
             fwd = Message(
                 MsgKind.FWD_GETX,
@@ -234,7 +246,7 @@ class DirectoryBank:
             self.engine.schedule_in(
                 lookup, lambda: self.engine.send(fwd, to_directory=False)
             )
-            self._block(e, lambda: self._become_owner(e, req))
+            self._block(e, msg.line, lambda: self._become_owner(e, msg.line, req))
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"GETX in unexpected state {e.state}")
 
@@ -242,21 +254,25 @@ class DirectoryBank:
     # Completions
     # ------------------------------------------------------------------
 
-    def _block(self, e: DirEntry, on_unblock: Callable[[], None]) -> None:
-        e.state = "B"
+    def _block(
+        self, e: DirEntry, line: int, on_unblock: Callable[[], None]
+    ) -> None:
+        self._set_state(e, line, "B")
         e.on_unblock = on_unblock
 
-    def _become_owner(self, e: DirEntry, core: int) -> None:
-        e.state = "M"
+    def _become_owner(self, e: DirEntry, line: int, core: int) -> None:
+        self._set_state(e, line, "M")
         e.owner = core
         e.sharers = set()
 
-    def _add_sharer(self, e: DirEntry, core: int) -> None:
-        e.state = "S"
+    def _add_sharer(self, e: DirEntry, line: int, core: int) -> None:
+        self._set_state(e, line, "S")
         e.sharers.add(core)
 
-    def _downgrade_owner(self, e: DirEntry, owner: int, req: int) -> None:
-        e.state = "S"
+    def _downgrade_owner(
+        self, e: DirEntry, line: int, owner: int, req: int
+    ) -> None:
+        self._set_state(e, line, "S")
         e.owner = None
         e.sharers = {owner, req}
 
@@ -313,18 +329,18 @@ class DirectoryBank:
             )
         if e.state == "I":
             delay = self._llc_fetch_delay(msg.line)
-            e.state = "B"
+            self._set_state(e, msg.line, "B")
             self.engine.schedule_in(delay, lambda: self._finish_amo(e, msg))
         elif e.state == "S":
             targets = sorted(e.sharers)
             if not targets:
-                e.state = "B"
+                self._set_state(e, msg.line, "B")
                 self.engine.schedule_in(
                     self.params.l3_bank.hit_cycles,
                     lambda: self._finish_amo(e, msg),
                 )
                 return
-            e.state = "B"
+            self._set_state(e, msg.line, "B")
             e.pending_acks = len(targets)
             e.on_acks_done = lambda: self._finish_amo(e, msg)
             self.stats.counter("invalidations_sent").add(len(targets))
@@ -351,7 +367,7 @@ class DirectoryBank:
                     line=msg.line,
                     cycle=self.engine.now,
                 )
-            e.state = "B"
+            self._set_state(e, msg.line, "B")
             e.pending_acks = 1
             e.on_acks_done = lambda: self._finish_amo(e, msg)
             inv = Message(
@@ -384,7 +400,7 @@ class DirectoryBank:
         )
         self.image.write(msg.amo_addr, new)
         self.l3.insert(msg.line)
-        e.state = "I"
+        self._set_state(e, msg.line, "I")
         e.owner = None
         e.sharers = set()
         self.stats.counter("amo_executed").add()
@@ -415,7 +431,7 @@ class DirectoryBank:
 
     def _apply_putm(self, e: DirEntry, msg: Message) -> None:
         if e.state == "M" and e.owner == msg.src:
-            e.state = "I"
+            self._set_state(e, msg.line, "I")
             e.owner = None
             self.l3.insert(msg.line)
             self.stats.counter("writebacks").add()

@@ -1,0 +1,60 @@
+"""Cycle-level observability: structured tracing and metrics export.
+
+The simulator's end-of-run aggregates say *that* a RoW variant gained or
+lost cycles; this package says *where* they went.  Hook points threaded
+through the event engine, the core pipeline, the directory banks and the
+RoW mechanism emit typed events (see :mod:`repro.obs.events`) into a
+ring-buffered :class:`EventTrace`, which renders to
+
+* Chrome ``chrome://tracing`` / Perfetto JSON (:mod:`repro.obs.perfetto`)
+  — one track per core plus directory and network tracks, and
+* per-event-type latency :class:`~repro.common.stats.Histogram`\\ s inside
+  a plain :class:`~repro.common.stats.StatGroup`
+  (:mod:`repro.obs.metrics`).
+
+Enable with ``simulate(params, program, trace=True)`` (or pass a
+:class:`TraceConfig`/your own :class:`Tracer`), or from the CLI::
+
+    python -m repro trace fig2 --out trace.json --events atomic,coh
+
+Tracing is zero-cost when disabled and timing-transparent when enabled:
+a traced and an untraced run of the same spec produce bit-identical
+metrics.  See ``docs/observability.md``.
+"""
+
+from repro.obs.events import (
+    CATEGORIES,
+    AtomicDecisionEvent,
+    AtomicSpanEvent,
+    CohEvent,
+    DirTransitionEvent,
+    InstrEvent,
+)
+from repro.obs.metrics import trace_stat_group
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventTrace,
+    NullTracer,
+    TraceConfig,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "AtomicDecisionEvent",
+    "AtomicSpanEvent",
+    "CATEGORIES",
+    "CohEvent",
+    "DirTransitionEvent",
+    "EventTrace",
+    "InstrEvent",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceConfig",
+    "Tracer",
+    "resolve_tracer",
+    "to_chrome_trace",
+    "trace_stat_group",
+    "write_chrome_trace",
+]

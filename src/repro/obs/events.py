@@ -1,0 +1,126 @@
+"""Typed trace events: the vocabulary of the observability layer.
+
+Four event categories, matching the places cycles go in the paper's
+evaluation (Figs. 6, 11, 12):
+
+``instr``   instruction lifecycle — one event per pipeline milestone
+            (dispatch / issue / commit) of a dynamic instruction.
+``atomic``  atomic-specific records: the eager-vs-lazy decision with the
+            predictor state that produced it, and the full per-atomic span
+            (dispatch → issue → lock → unlock) emitted at cacheline unlock
+            together with the detection/prediction outcome.
+``coh``     coherence messages — one event per message carrying both the
+            send and the (deterministically known) delivery cycle.
+``dir``     directory state transitions (I/S/M/B) at the home bank.
+
+Events are immutable slotted dataclasses: cheap to allocate, safe to hold
+in a ring buffer, and trivially renderable to Chrome/Perfetto JSON (see
+:mod:`repro.obs.perfetto`) or latency histograms (:mod:`repro.obs.metrics`).
+Every event carries a ``cycle`` field (its primary timestamp); span events
+additionally carry the phase-boundary cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+CATEGORY_INSTR = "instr"
+CATEGORY_ATOMIC = "atomic"
+CATEGORY_COH = "coh"
+CATEGORY_DIR = "dir"
+
+#: Every valid category, in stable display order.
+CATEGORIES: tuple[str, ...] = (
+    CATEGORY_INSTR,
+    CATEGORY_ATOMIC,
+    CATEGORY_COH,
+    CATEGORY_DIR,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class InstrEvent:
+    """One pipeline milestone of a dynamic instruction."""
+
+    category: ClassVar[str] = CATEGORY_INSTR
+
+    cycle: int
+    core: int
+    uid: int  # dynamic instruction id (survives replays)
+    seq: int  # static sequence number in the thread trace
+    pc: int
+    cls: str  # InstrClass name (LOAD, STORE, ATOMIC, ...)
+    phase: str  # "dispatch" | "issue" | "commit"
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicDecisionEvent:
+    """The RoW predictor's eager-vs-lazy call at atomic allocation."""
+
+    category: ClassVar[str] = CATEGORY_ATOMIC
+
+    cycle: int
+    core: int
+    pc: int
+    eager: bool  # True = predicted non-contended, execute eager
+    counter: int  # predictor counter value that produced the decision
+    threshold: int  # predict contended (lazy) when counter > threshold
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicSpanEvent:
+    """One atomic's full lifecycle, emitted at cacheline unlock.
+
+    ``cycle`` is the unlock cycle (the emission point); the phase
+    boundaries (``dispatch``/``issue``/``lock``) let exporters derive the
+    dispatch→issue, issue→lock and lock→unlock splits of Fig. 6.
+    """
+
+    category: ClassVar[str] = CATEGORY_ATOMIC
+
+    cycle: int  # unlock cycle
+    core: int
+    pc: int
+    line: int
+    dispatch: int
+    issue: int
+    lock: int
+    eager: bool
+    predicted_contended: bool
+    contended: bool  # what the configured detector saw
+    contended_truth: bool  # ground-truth oracle
+
+
+@dataclass(frozen=True, slots=True)
+class CohEvent:
+    """One coherence message: send cycle plus delivery cycle.
+
+    Delivery through the mesh is deterministic, so both endpoints of the
+    span are known at send time and a single event suffices (no pairing
+    pass needed downstream).
+    """
+
+    category: ClassVar[str] = CATEGORY_COH
+
+    cycle: int  # send cycle
+    deliver: int  # delivery cycle at the destination endpoint
+    kind: str  # MsgKind value (GetS, Inv, Data, ...)
+    src: int
+    dst: int
+    line: int
+    uid: int  # message uid (stable async-span id for Perfetto)
+    to_directory: bool
+
+
+@dataclass(frozen=True, slots=True)
+class DirTransitionEvent:
+    """A directory entry moved between stable/blocked states."""
+
+    category: ClassVar[str] = CATEGORY_DIR
+
+    cycle: int
+    node: int
+    line: int
+    old: str  # I, S, M, B
+    new: str

@@ -1,0 +1,70 @@
+"""Fold a recorded trace into the existing stats schema.
+
+``trace_stat_group`` renders per-event-type latency *distributions* —
+Schweizer et al. (PAPERS.md) argue distributions, not means, are what
+distinguish contended-atomic behaviours — as ordinary
+:class:`~repro.common.stats.Histogram`/:class:`~repro.common.stats.Counter`
+objects inside a :class:`~repro.common.stats.StatGroup`.  That makes trace
+summaries composable with every existing consumer: ``StatGroup.merge``,
+``merge_groups``, ``snapshot()`` and the report/figure plumbing all work
+unchanged.
+
+The derived group is a *view*: building it never mutates the trace, and a
+trace never feeds back into :class:`~repro.analysis.runner.RunMetrics` —
+metric identity stays independent of tracing (see
+``tests/obs/test_trace_identity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.stats import StatGroup
+from repro.obs.events import (
+    AtomicDecisionEvent,
+    AtomicSpanEvent,
+    CohEvent,
+    DirTransitionEvent,
+    InstrEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import EventTrace
+
+
+def trace_stat_group(trace: "EventTrace", name: str = "trace") -> StatGroup:
+    """Histogram the latency splits of every span-like event type.
+
+    Emitted stats (all lazily created, absent when a category is off):
+
+    * ``atomic_dispatch_to_issue`` / ``atomic_issue_to_lock`` /
+      ``atomic_lock_to_unlock`` — the Fig. 6 splits as full histograms;
+    * ``coh_latency`` plus per-kind ``coh_latency_<Kind>`` — message
+      send→delivery distributions;
+    * counters: per-phase instruction milestones, eager/lazy decisions,
+      detector outcomes and directory transition edges.
+    """
+    g = StatGroup(name)
+    for ev in trace.events:
+        if isinstance(ev, AtomicSpanEvent):
+            g.histogram("atomic_dispatch_to_issue").add(ev.issue - ev.dispatch)
+            g.histogram("atomic_issue_to_lock").add(ev.lock - ev.issue)
+            g.histogram("atomic_lock_to_unlock").add(ev.cycle - ev.lock)
+            g.counter("atomics_traced").add()
+            if ev.eager:
+                g.counter("atomics_eager").add()
+            if ev.contended:
+                g.counter("atomics_contended").add()
+        elif isinstance(ev, AtomicDecisionEvent):
+            g.counter("decisions").add()
+            g.counter("decisions_eager" if ev.eager else "decisions_lazy").add()
+        elif isinstance(ev, CohEvent):
+            latency = ev.deliver - ev.cycle
+            g.histogram("coh_latency").add(latency)
+            g.histogram(f"coh_latency_{ev.kind}").add(latency)
+            g.counter("coh_messages").add()
+        elif isinstance(ev, InstrEvent):
+            g.counter(f"instr_{ev.phase}").add()
+        elif isinstance(ev, DirTransitionEvent):
+            g.counter(f"dir_{ev.old}_to_{ev.new}").add()
+    return g

@@ -1,0 +1,171 @@
+"""Render an :class:`~repro.obs.tracer.EventTrace` to Chrome/Perfetto JSON.
+
+The output is the Chrome Trace Event format (the JSON flavour both
+``chrome://tracing`` and https://ui.perfetto.dev load directly):
+
+* one *process* track per core (``pid`` = core id) with an ``instr`` and
+  an ``atomic`` thread,
+* one ``directory`` process (one thread per bank) for state transitions,
+* one ``network`` process carrying coherence messages as async spans
+  (``ph``: ``b``/``e`` pairs keyed by the message uid, so overlapping
+  in-flight messages render correctly).
+
+Cycles map 1:1 to the format's microsecond timestamps — Perfetto's time
+axis simply reads as cycles.  All payloads are strict JSON: the writer
+passes ``allow_nan=False`` so a non-finite value can never reach a file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import TYPE_CHECKING
+
+from repro.obs.events import (
+    AtomicDecisionEvent,
+    AtomicSpanEvent,
+    CohEvent,
+    DirTransitionEvent,
+    InstrEvent,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import EventTrace
+
+#: Synthetic pids for the non-core tracks (cores use their own ids).
+DIRECTORY_PID = 10_000
+NETWORK_PID = 10_001
+
+_TID_INSTR = 0
+_TID_ATOMIC = 1
+
+
+def _meta(name: str, pid: int, tid: int | None = None) -> dict:
+    event = {
+        "name": "process_name" if tid is None else "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+        event["args"]["name"] = name
+    return event
+
+
+def to_chrome_trace(trace: "EventTrace") -> dict:
+    """Build the Chrome Trace Event payload for one recorded trace."""
+    body: list[dict] = []
+    core_pids: set[int] = set()
+    dir_tids: set[int] = set()
+    saw_network = False
+
+    for ev in trace.events:
+        if isinstance(ev, InstrEvent):
+            core_pids.add(ev.core)
+            body.append({
+                "name": f"{ev.phase} {ev.cls.lower()}",
+                "cat": "instr",
+                "ph": "i",
+                "s": "t",
+                "ts": ev.cycle,
+                "pid": ev.core,
+                "tid": _TID_INSTR,
+                "args": {"seq": ev.seq, "uid": ev.uid, "pc": hex(ev.pc)},
+            })
+        elif isinstance(ev, AtomicSpanEvent):
+            core_pids.add(ev.core)
+            body.append({
+                "name": f"atomic pc={ev.pc:#x}",
+                "cat": "atomic",
+                "ph": "X",
+                "ts": ev.lock,
+                "dur": max(ev.cycle - ev.lock, 0),
+                "pid": ev.core,
+                "tid": _TID_ATOMIC,
+                "args": {
+                    "line": hex(ev.line),
+                    "dispatch": ev.dispatch,
+                    "issue": ev.issue,
+                    "lock": ev.lock,
+                    "unlock": ev.cycle,
+                    "eager": ev.eager,
+                    "predicted_contended": ev.predicted_contended,
+                    "contended": ev.contended,
+                    "contended_truth": ev.contended_truth,
+                },
+            })
+        elif isinstance(ev, AtomicDecisionEvent):
+            core_pids.add(ev.core)
+            body.append({
+                "name": f"decide {'eager' if ev.eager else 'lazy'}",
+                "cat": "atomic",
+                "ph": "i",
+                "s": "t",
+                "ts": ev.cycle,
+                "pid": ev.core,
+                "tid": _TID_ATOMIC,
+                "args": {
+                    "pc": hex(ev.pc),
+                    "counter": ev.counter,
+                    "threshold": ev.threshold,
+                },
+            })
+        elif isinstance(ev, CohEvent):
+            saw_network = True
+            common = {
+                "name": ev.kind,
+                "cat": "coh",
+                "id": ev.uid,
+                "pid": NETWORK_PID,
+                "tid": 0,
+            }
+            body.append({
+                **common,
+                "ph": "b",
+                "ts": ev.cycle,
+                "args": {
+                    "src": ev.src,
+                    "dst": ev.dst,
+                    "line": hex(ev.line),
+                    "to_directory": ev.to_directory,
+                },
+            })
+            body.append({**common, "ph": "e", "ts": ev.deliver})
+        elif isinstance(ev, DirTransitionEvent):
+            dir_tids.add(ev.node)
+            body.append({
+                "name": f"{ev.old}->{ev.new}",
+                "cat": "dir",
+                "ph": "i",
+                "s": "t",
+                "ts": ev.cycle,
+                "pid": DIRECTORY_PID,
+                "tid": ev.node,
+                "args": {"line": hex(ev.line)},
+            })
+
+    header: list[dict] = []
+    for pid in sorted(core_pids):
+        header.append(_meta(f"core {pid}", pid))
+        header.append(_meta("instr", pid, _TID_INSTR))
+        header.append(_meta("atomic", pid, _TID_ATOMIC))
+    if dir_tids:
+        header.append(_meta("directory", DIRECTORY_PID))
+        for tid in sorted(dir_tids):
+            header.append(_meta(f"bank {tid}", DIRECTORY_PID, tid))
+    if saw_network:
+        header.append(_meta("network", NETWORK_PID))
+        header.append(_meta("messages", NETWORK_PID, 0))
+
+    return {"traceEvents": header + body, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    trace: "EventTrace", path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write the Perfetto-loadable JSON file for one recorded trace."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(trace), allow_nan=False))
+    return path

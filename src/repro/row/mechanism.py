@@ -25,20 +25,36 @@ from repro.row.predictor import ContentionPredictor
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
     from repro.core.dyninstr import AQEntry
+    from repro.obs.tracer import Tracer
 
 
 class RowMechanism:
-    def __init__(self, params: RowParams, stats: StatGroup | None = None) -> None:
+    def __init__(
+        self,
+        params: RowParams,
+        stats: StatGroup | None = None,
+        tracer: "Tracer | None" = None,
+        core_id: int = 0,
+    ) -> None:
         self.params = params
         self.stats = stats if stats is not None else StatGroup("row")
         self.predictor = ContentionPredictor(params, self.stats)
         self.detector = ContentionDetector(params)
+        # Observer-only hook (repro.obs): records each eager-vs-lazy
+        # decision together with the predictor state that produced it.
+        self.tracer = tracer
+        self.core_id = core_id
 
     # ------------------------------------------------------------------
 
-    def decide_eager(self, pc: int) -> bool:
+    def decide_eager(self, pc: int, cycle: int = 0) -> bool:
         """Predictor check at allocation: True = execute eager."""
         contended = self.predictor.predict(pc)
+        if self.tracer is not None:
+            self.tracer.atomic_decision(
+                cycle, self.core_id, pc, not contended,
+                self.predictor.counter(pc), self.predictor.threshold,
+            )
         return not contended
 
     def try_promote_for_forwarding(self, entry: "AQEntry", store_match: bool) -> bool:

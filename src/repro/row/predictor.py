@@ -8,7 +8,9 @@ ICS 1997).  Three update policies:
   the counter exceeds a threshold of 1.
 * **Saturate on Contention** — jump to the maximum (2^N − 1) on contention,
   −1 otherwise; predict lazy when the counter exceeds 0.
-* **+2/−1** — the additional variant the paper mentions evaluating.
+* **+2/−1** — the additional variant the paper mentions evaluating: +2 on
+  contention, −1 otherwise, and (like UpDown, whose ``updown_threshold``
+  it reuses) predict lazy when the counter exceeds a threshold of 1.
 
 Both paper policies "move the execution of an atomic aggressively towards
 lazy when it faces contention" and "favor recent contention behavior".
@@ -46,6 +48,10 @@ class ContentionPredictor:
         bits = (self.entries - 1).bit_length()
         mask = self.entries - 1
         return (pc ^ (pc >> bits)) & mask
+
+    def counter(self, pc: int) -> int:
+        """Current counter value for ``pc`` (read-only; used by tracing)."""
+        return self.table[self.index(pc)]
 
     def predict(self, pc: int) -> bool:
         """True = contended (execute lazy); False = not contended (eager)."""

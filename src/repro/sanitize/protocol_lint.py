@@ -143,7 +143,12 @@ def _is_state_store_target(tgt: ast.expr) -> bool:
 
 
 def _state_alphabet(tree: ast.Module) -> set[str]:
-    """Every string constant ever stored into a ``.state`` slot."""
+    """Every string constant ever stored into a ``.state`` slot.
+
+    Stores happen either directly (``e.state = "B"``) or through the
+    tracing funnel ``_set_state(entry, line, "B")``, whose last argument
+    is the new state.
+    """
     alpha: set[str] = set()
     for node in ast.walk(tree):
         value = None
@@ -157,6 +162,13 @@ def _state_alphabet(tree: ast.Module) -> set[str]:
             and node.target.id == "state"
         ):
             value = node.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_set_state"
+            and node.args
+        ):
+            value = node.args[-1]
         if isinstance(value, ast.Constant) and isinstance(value.value, str):
             alpha.add(value.value)
     return alpha

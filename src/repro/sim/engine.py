@@ -11,11 +11,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.memory.interconnect import MeshNetwork
 from repro.memory.messages import Message
 from repro.sanitize.errors import UnknownEndpointError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
 
 
 class DeadlockError(RuntimeError):
@@ -23,10 +26,19 @@ class DeadlockError(RuntimeError):
 
 
 class EventEngine:
-    """Global clock + event heap + message fabric."""
+    """Global clock + event heap + message fabric.
 
-    def __init__(self, network: MeshNetwork) -> None:
+    ``tracer`` (optional) observes every routed message: because mesh
+    delivery is deterministic, both the send and the delivery cycle are
+    known at :meth:`send` time, so tracing adds no events of its own to
+    the heap — it is timing-transparent by construction.
+    """
+
+    def __init__(
+        self, network: MeshNetwork, tracer: "Tracer | None" = None
+    ) -> None:
         self.network = network
+        self.tracer = tracer
         self.now = 0
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
         self._tiebreak = itertools.count()
@@ -68,7 +80,10 @@ class EventEngine:
             raise UnknownEndpointError(msg.dst, to_directory=to_directory, msg=msg)
         # Deliver strictly in the future so a handler never runs mid-cycle
         # for the component that sent it.
-        self.schedule(max(arrival, self.now + 1), lambda: handler(msg))
+        deliver = max(arrival, self.now + 1)
+        if self.tracer is not None:
+            self.tracer.coh(self.now, deliver, msg, to_directory)
+        self.schedule(deliver, lambda: handler(msg))
 
     # ------------------------------------------------------------------
     # Clock control

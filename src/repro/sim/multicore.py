@@ -18,6 +18,7 @@ from repro.memory.controller import PrivateCacheController
 from repro.memory.directory import DirectoryBank
 from repro.memory.image import MemoryImage
 from repro.memory.interconnect import MeshNetwork
+from repro.obs.tracer import resolve_tracer
 from repro.sim.engine import DeadlockError, EventEngine
 
 
@@ -37,6 +38,9 @@ class RunResult:
     memory_snapshot: dict[int, int] = field(default_factory=dict)
     per_core_cycles: list[int] = field(default_factory=list)
     load_values: list[dict[int, int]] = field(default_factory=list)
+    # The EventTrace when tracing was requested (None otherwise).  A pure
+    # observer: nothing above this field ever depends on it.
+    trace: object | None = None
 
     @property
     def ipc(self) -> float:
@@ -83,6 +87,13 @@ class MulticoreSimulator:
     :mod:`repro.sanitize.runtime` (pass ``True`` for the defaults or a
     :class:`~repro.sanitize.runtime.SanitizerConfig` to pick checkers).
     Off by default: an unsanitized simulator runs the exact seed bytecode.
+
+    ``trace`` attaches the cycle-level observability layer from
+    :mod:`repro.obs` (pass ``True`` for defaults, a
+    :class:`~repro.obs.tracer.TraceConfig` to filter/sample, or your own
+    :class:`~repro.obs.tracer.Tracer`).  Tracing is a pure observer:
+    a traced run produces the same :class:`RunResult` statistics as an
+    untraced one.
     """
 
     def __init__(
@@ -90,6 +101,7 @@ class MulticoreSimulator:
         params: SystemParams,
         program: Program,
         sanitize: "bool | object" = False,
+        trace: "bool | object" = False,
     ) -> None:
         params.validate()
         if program.num_threads > params.num_cores:
@@ -100,14 +112,20 @@ class MulticoreSimulator:
         program.validate()
         self.params = params
         self.program = program
+        self.tracer = resolve_tracer(trace)
         self.network_stats = StatGroup("network")
         self.network = MeshNetwork(params, self.network_stats)
-        self.engine = EventEngine(self.network)
+        self.engine = EventEngine(self.network, tracer=self.tracer)
         self.image = MemoryImage(program.initial_memory)
         self.directory_stats = StatGroup("directory")
         self.banks = [
             DirectoryBank(
-                node, params, self.engine, self.directory_stats, image=self.image
+                node,
+                params,
+                self.engine,
+                self.directory_stats,
+                image=self.image,
+                tracer=self.tracer,
             )
             for node in range(params.num_cores)
         ]
@@ -118,8 +136,16 @@ class MulticoreSimulator:
             self.controllers.append(controller)
             self.engine.register_core_endpoint(cid, controller.receive)
             self.engine.register_dir_endpoint(cid, self.banks[cid].receive)
-        for cid, trace in enumerate(program.traces):
-            core = Core(cid, params, trace, self.engine, self.controllers[cid], self.image)
+        for cid, core_trace in enumerate(program.traces):
+            core = Core(
+                cid,
+                params,
+                core_trace,
+                self.engine,
+                self.controllers[cid],
+                self.image,
+                tracer=self.tracer,
+            )
             self.cores.append(core)
         self._apply_warmup()
         self.sanitizer = None
@@ -218,6 +244,7 @@ class MulticoreSimulator:
             memory_snapshot=self.image.snapshot(),
             per_core_cycles=[c.finish_cycle or engine.now for c in cores],
             load_values=[c.load_values for c in cores],
+            trace=self.tracer,
         )
 
 
@@ -226,7 +253,8 @@ def simulate(
     program: Program,
     max_cycles: int = 50_000_000,
     sanitize: "bool | object" = False,
+    trace: "bool | object" = False,
 ) -> RunResult:
     """Convenience one-shot: build the system and run the program."""
-    sim = MulticoreSimulator(params, program, sanitize=sanitize)
+    sim = MulticoreSimulator(params, program, sanitize=sanitize, trace=trace)
     return sim.run(max_cycles=max_cycles)

@@ -97,6 +97,72 @@ class TestCommands:
         )
         assert "cycles" in capsys.readouterr().out
 
+    def test_trace_events_fig2(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(
+            [
+                "trace",
+                "fig2",
+                "--out",
+                str(out),
+                "--instructions",
+                "50",
+                "--config",
+                "quick",
+            ]
+        )
+        assert rc == 0
+        assert "retained" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_trace_events_workload_with_filter(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(
+            [
+                "trace",
+                "pc",
+                "--out",
+                str(out),
+                "--events",
+                "atomic,coh",
+                "--instructions",
+                "400",
+                "--threads",
+                "2",
+                "--mode",
+                "row",
+                "--config",
+                "quick",
+            ]
+        )
+        assert rc == 0
+        assert "instr=0" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_trace_events_rejects_unknown_category(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "pc", "--out", str(tmp_path / "t.json"), "--events", "nope"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "nope" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_trace_rejects_unknown_target(self, capsys):
+        rc = main(["trace", "not-a-workload"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "not-a-workload" in captured.err
+
+    def test_trace_action_without_path_exits_2(self, capsys):
+        rc = main(["trace", "inspect"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "requires a trace-file path" in captured.err
+
     def test_sweep(self, capsys):
         rc = main(
             [

@@ -1,8 +1,13 @@
 """JSON export/import tests."""
 
+import enum
 import json
+import pathlib
+
+import pytest
 
 from repro.analysis.export import (
+    _json_default,
     export_figures,
     export_metrics,
     figure_from_dict,
@@ -69,3 +74,42 @@ class TestMetricsExport:
         payload = json.loads(path.read_text())
         assert payload[0]["workload"] == "pc"
         assert payload[0]["counters"]["flushes"] == 1
+
+
+class TestJsonDefault:
+    """Regression for the old ``default=str`` escape hatch: known types
+    convert explicitly, anything else fails loudly at export time."""
+
+    def test_enum_exports_its_value(self):
+        class Color(enum.Enum):
+            RED = "red"
+
+        assert _json_default(Color.RED) == "red"
+
+    def test_path_exports_as_string(self):
+        assert _json_default(pathlib.PurePosixPath("/a/b")) == "/a/b"
+
+    def test_unknown_type_raises_type_error(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="not JSON-exportable"):
+            _json_default(Opaque())
+
+    def test_unknown_type_fails_the_whole_export(self, tmp_path):
+        fig = sample_figure()
+        fig.add_row("bad", object())
+        with pytest.raises(TypeError):
+            export_figures([fig], tmp_path / "figs.json")
+
+    def test_nonfinite_value_fails_the_export(self, tmp_path):
+        fig = sample_figure()
+        fig.add_row("inf", float("inf"))
+        with pytest.raises(ValueError):
+            export_figures([fig], tmp_path / "figs.json")
+
+    def test_numpy_scalars_export_when_numpy_present(self):
+        np = pytest.importorskip("numpy")
+        assert _json_default(np.int64(3)) == 3
+        assert isinstance(_json_default(np.float64(1.5)), float)
+        assert _json_default(np.bool_(True)) is True

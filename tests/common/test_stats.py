@@ -1,5 +1,7 @@
 """Tests for counters, accumulators, histograms and latency breakdowns."""
 
+import json
+
 import pytest
 
 from repro.common.stats import (
@@ -60,6 +62,58 @@ class TestAccumulator:
         assert a.count == 3
         assert a.mean == pytest.approx(4.0)
 
+    def test_merge_with_empty_keeps_min_max(self):
+        a = Accumulator("a")
+        a.add(3)
+        a.add(7)
+        a.merge(Accumulator("empty"))
+        assert a.min == 3
+        assert a.max == 7
+        assert a.count == 2
+
+    def test_merge_into_empty_adopts_other(self):
+        a = Accumulator("a")
+        b = Accumulator("b")
+        b.add(5)
+        a.merge(b)
+        assert (a.min, a.max, a.count) == (5, 5, 1)
+
+
+class TestAccumulatorSerialization:
+    """The strict-JSON contract: an empty accumulator's ±inf min/max
+    identities must serialize as null, never as Infinity."""
+
+    def test_empty_to_dict_has_null_min_max(self):
+        d = Accumulator("a").to_dict()
+        assert d == {"total": 0.0, "count": 0, "min": None, "max": None}
+
+    def test_empty_dict_is_strict_json_safe(self):
+        text = json.dumps(Accumulator("a").to_dict(), allow_nan=False)
+        assert "Infinity" not in text
+
+    def test_nonempty_to_dict(self):
+        a = Accumulator("a")
+        a.add(2)
+        a.add(8)
+        assert a.to_dict() == {"total": 10.0, "count": 2, "min": 2, "max": 8}
+
+    def test_round_trip_restores_identities(self):
+        empty = Accumulator.from_dict("a", Accumulator("a").to_dict())
+        assert empty.min == float("inf")
+        assert empty.max == float("-inf")
+        # The restored identities still merge correctly.
+        other = Accumulator("b")
+        other.add(4)
+        empty.merge(other)
+        assert (empty.min, empty.max) == (4, 4)
+
+    def test_round_trip_nonempty(self):
+        a = Accumulator("a")
+        a.add(-1)
+        a.add(9)
+        clone = Accumulator.from_dict("a", json.loads(json.dumps(a.to_dict())))
+        assert (clone.total, clone.count, clone.min, clone.max) == (8, 2, -1, 9)
+
 
 class TestHistogram:
     def test_mean(self):
@@ -94,6 +148,21 @@ class TestHistogram:
 
     def test_percentile_empty(self):
         assert Histogram("h").percentile(0.5) == 0
+
+    def test_percentile_zero_on_single_bucket(self):
+        h = Histogram("h")
+        h.add(42)
+        assert h.percentile(0.0) == 42
+        assert h.percentile(1.0) == 42
+
+    def test_weighted_add_shifts_percentiles(self):
+        h = Histogram("h")
+        h.add(1, weight=99)
+        h.add(100)
+        assert h.count == 100
+        assert h.percentile(0.5) == 1
+        assert h.percentile(1.0) == 100
+        assert h.mean == pytest.approx((99 * 1 + 100) / 100)
 
     def test_merge(self):
         a, b = Histogram("a"), Histogram("b")
@@ -179,6 +248,31 @@ class TestAtomicLatencyBreakdown:
             "issue_to_lock": 2.0,
             "lock_to_unlock": 2.0,
         }
+
+    def test_record_equal_timestamps_gives_zero_phases(self):
+        b = AtomicLatencyBreakdown()
+        b.record(dispatch=7, issue=7, lock=7, unlock=7)
+        assert b.means() == {
+            "dispatch_to_issue": 0.0,
+            "issue_to_lock": 0.0,
+            "lock_to_unlock": 0.0,
+        }
+        assert b.lock_to_unlock.count == 1
+
+    def test_empty_to_dict_is_strict_json_safe(self):
+        text = json.dumps(AtomicLatencyBreakdown().to_dict(), allow_nan=False)
+        assert json.loads(text)["lock_to_unlock"]["min"] is None
+
+    def test_to_dict_round_trip(self):
+        b = AtomicLatencyBreakdown()
+        b.record(0, 2, 4, 6)
+        b.record(0, 4, 8, 12)
+        clone = AtomicLatencyBreakdown.from_dict(
+            json.loads(json.dumps(b.to_dict()))
+        )
+        assert clone.means() == b.means()
+        assert clone.issue_to_lock.min == 2
+        assert clone.issue_to_lock.max == 4
 
 
 class TestGeomean:

@@ -1,0 +1,83 @@
+"""Chrome/Perfetto export tests, driven by a real simulation."""
+
+import json
+
+import pytest
+
+from repro.common.params import SystemParams
+from repro.isa.instructions import AtomicOp
+from repro.obs import EventTrace, to_chrome_trace, write_chrome_trace
+from repro.obs.perfetto import DIRECTORY_PID, NETWORK_PID
+from repro.sim.multicore import simulate
+from repro.workloads.microbench import build_microbench
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    trace = EventTrace()
+    program = build_microbench(AtomicOp.FAA, "lock", iterations=30)
+    result = simulate(SystemParams.quick(), program, trace=trace)
+    return trace, result
+
+
+class TestChromePayload:
+    def test_payload_is_valid_strict_json(self, traced_run):
+        trace, _ = traced_run
+        payload = to_chrome_trace(trace)
+        text = json.dumps(payload, allow_nan=False)
+        assert json.loads(text)["traceEvents"]
+
+    def test_track_metadata_names_cores_directory_network(self, traced_run):
+        trace, _ = traced_run
+        events = to_chrome_trace(trace)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert any(n.startswith("core ") for n in names)
+        assert "directory" in names
+        assert "network" in names
+
+    def test_atomic_lock_unlock_spans_per_core(self, traced_run):
+        trace, result = traced_run
+        events = to_chrome_trace(trace)["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X" and e["cat"] == "atomic"]
+        assert len(spans) == result.atomics_committed()
+        for span in spans:
+            args = span["args"]
+            assert span["ts"] == args["lock"]
+            assert span["ts"] + span["dur"] == max(args["unlock"], args["lock"])
+            assert args["dispatch"] <= args["issue"] <= args["lock"]
+            assert span["pid"] not in (DIRECTORY_PID, NETWORK_PID)
+
+    def test_coherence_messages_are_async_pairs(self, traced_run):
+        trace, _ = traced_run
+        events = to_chrome_trace(trace)["traceEvents"]
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert begins and len(begins) == len(ends)
+        by_id = {e["id"]: e for e in begins}
+        for end in ends:
+            begin = by_id[end["id"]]
+            assert end["ts"] >= begin["ts"]
+            assert end["pid"] == begin["pid"] == NETWORK_PID
+
+    def test_directory_transitions_land_on_bank_threads(self, traced_run):
+        trace, _ = traced_run
+        events = to_chrome_trace(trace)["traceEvents"]
+        dirs = [e for e in events if e.get("cat") == "dir"]
+        assert dirs
+        assert all(e["pid"] == DIRECTORY_PID for e in dirs)
+        assert all("->" in e["name"] for e in dirs)
+
+    def test_write_round_trips_through_file(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = write_chrome_trace(trace, tmp_path / "sub" / "trace.json")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ns"
+
+
+class TestEmptyTrace:
+    def test_empty_trace_renders_empty_payload(self):
+        payload = to_chrome_trace(EventTrace())
+        assert payload["traceEvents"] == []

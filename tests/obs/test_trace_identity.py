@@ -1,0 +1,60 @@
+"""Timing transparency: tracing must never change what a run computes.
+
+The contract (docs/observability.md): a tracer is a pure observer, so a
+traced and an untraced run of the same spec produce *bit-identical*
+RunMetrics JSON — trace presence cannot change cached metric identity.
+"""
+
+from repro.analysis.runner import RunMetrics
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import AtomicOp
+from repro.obs import EventTrace, TraceConfig
+from repro.sanitize import run_lint
+from repro.sim.multicore import simulate
+from repro.workloads.microbench import build_microbench
+from repro.workloads.synthetic import build_program
+
+
+def metrics_json(program, params, trace):
+    result = simulate(params, program, trace=trace)
+    return RunMetrics.from_result(result).to_json(), result
+
+
+class TestTraceIdentity:
+    def test_microbench_traced_equals_untraced(self):
+        program = build_microbench(AtomicOp.FAA, "lock", iterations=40)
+        params = SystemParams.quick()
+        plain, _ = metrics_json(program, params, trace=False)
+        traced, _ = metrics_json(program, params, trace=EventTrace())
+        assert plain == traced
+
+    def test_synthetic_row_traced_equals_untraced(self):
+        program = build_program("pc", 4, 600, seed=0)
+        params = SystemParams.quick().with_atomic_mode(AtomicMode.ROW)
+        plain, _ = metrics_json(program, params, trace=False)
+        traced, result = metrics_json(program, params, trace=EventTrace())
+        assert plain == traced
+        assert result.trace is not None and len(result.trace.events) > 0
+
+    def test_filtered_and_sampled_trace_is_also_transparent(self):
+        program = build_program("pc", 4, 600, seed=1)
+        params = SystemParams.quick().with_atomic_mode(AtomicMode.ROW)
+        cfg = TraceConfig(
+            events=frozenset({"atomic", "coh"}), capacity=64, sample_every=3
+        )
+        plain, _ = metrics_json(program, params, trace=False)
+        traced, _ = metrics_json(program, params, trace=cfg)
+        assert plain == traced
+
+    def test_untraced_run_carries_no_trace(self):
+        program = build_microbench(AtomicOp.FAA, "lock", iterations=5)
+        result = simulate(SystemParams.quick(), program)
+        assert result.trace is None
+
+
+class TestObsConventionLint:
+    def test_obs_package_is_lint_clean(self):
+        """`repro check` lints the whole package; the obs subtree must not
+        introduce wallclock/unseeded-random/float-cycle findings."""
+        findings = [f for f in run_lint() if f.path.startswith("obs/")]
+        assert findings == []

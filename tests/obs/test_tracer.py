@@ -1,0 +1,143 @@
+"""EventTrace / TraceConfig / resolve_tracer unit tests."""
+
+import pytest
+
+from repro.obs import (
+    CATEGORIES,
+    EventTrace,
+    NullTracer,
+    TraceConfig,
+    Tracer,
+    resolve_tracer,
+)
+from repro.obs.events import (
+    AtomicDecisionEvent,
+    AtomicSpanEvent,
+    DirTransitionEvent,
+    InstrEvent,
+)
+
+
+class FakeMsg:
+    """Just enough of a Message for EventTrace.coh."""
+
+    class _Kind:
+        value = "GetX"
+
+    kind = _Kind()
+    src = 0
+    dst = 1
+    line = 0x40
+    uid = 7
+
+
+class TestTraceConfig:
+    def test_defaults_record_everything(self):
+        cfg = TraceConfig()
+        assert cfg.events == frozenset(CATEGORIES)
+        assert cfg.sample_every == 1
+
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown trace event"):
+            TraceConfig(events=frozenset({"bogus"}))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceConfig(capacity=0)
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ValueError):
+            TraceConfig(sample_every=0)
+
+
+class TestEventTrace:
+    def test_records_typed_events(self):
+        tr = EventTrace()
+        tr.instr(5, 0, 1, 2, 0x100, "ATOMIC", "dispatch")
+        tr.atomic_decision(6, 0, 0x100, True, 0, 1)
+        tr.dir_transition(7, 3, 0x40, "I", "B")
+        kinds = [type(e) for e in tr.events]
+        assert kinds == [InstrEvent, AtomicDecisionEvent, DirTransitionEvent]
+
+    def test_category_filter(self):
+        tr = EventTrace(TraceConfig(events=frozenset({"atomic"})))
+        tr.instr(5, 0, 1, 2, 0x100, "LOAD", "issue")
+        tr.coh(5, 8, FakeMsg(), True)
+        tr.atomic_span(9, 0, 0x100, 0x40, 1, 2, 3, True, False, False, False)
+        assert len(tr) == 1
+        assert isinstance(tr.events[0], AtomicSpanEvent)
+
+    def test_sampling_thins_instr_stream(self):
+        tr = EventTrace(TraceConfig(sample_every=3))
+        for i in range(9):
+            tr.instr(i, 0, i, i, 0x100, "LOAD", "issue")
+        assert len(tr) == 3
+
+    def test_sampling_never_touches_atomic_events(self):
+        tr = EventTrace(TraceConfig(sample_every=100))
+        for i in range(5):
+            tr.atomic_decision(i, 0, 0x100, True, 0, 1)
+        assert len(tr) == 5
+
+    def test_ring_buffer_bounds_memory_and_counts_dropped(self):
+        tr = EventTrace(TraceConfig(capacity=4))
+        for i in range(10):
+            tr.instr(i, 0, i, i, 0x100, "LOAD", "issue")
+        assert len(tr) == 4
+        assert tr.dropped == 6
+        # The ring keeps the most recent events.
+        assert [e.cycle for e in tr.events] == [6, 7, 8, 9]
+
+    def test_by_category_and_summary(self):
+        tr = EventTrace()
+        tr.instr(1, 0, 1, 1, 0x100, "LOAD", "issue")
+        tr.dir_transition(2, 0, 0x40, "I", "M")
+        assert len(tr.by_category("instr")) == 1
+        assert len(tr.by_category("dir")) == 1
+        assert "2 event(s) retained" in tr.summary()
+
+    def test_stat_group_view(self):
+        tr = EventTrace()
+        tr.atomic_span(10, 0, 0x100, 0x40, 0, 2, 5, True, False, True, True)
+        g = tr.stat_group()
+        assert g.histogram("atomic_dispatch_to_issue").mean == pytest.approx(2)
+        assert g.histogram("atomic_issue_to_lock").mean == pytest.approx(3)
+        assert g.histogram("atomic_lock_to_unlock").mean == pytest.approx(5)
+        assert g.counter("atomics_eager").value == 1
+        assert g.counter("atomics_contended").value == 1
+
+
+class TestResolveTracer:
+    def test_off_values_resolve_to_none(self):
+        assert resolve_tracer(False) is None
+        assert resolve_tracer(None) is None
+
+    def test_true_builds_default_trace(self):
+        assert isinstance(resolve_tracer(True), EventTrace)
+
+    def test_config_builds_configured_trace(self):
+        cfg = TraceConfig(capacity=8)
+        tracer = resolve_tracer(cfg)
+        assert isinstance(tracer, EventTrace)
+        assert tracer.config is cfg
+
+    def test_tracer_instance_passes_through(self):
+        tr = EventTrace()
+        assert resolve_tracer(tr) is tr
+        null = NullTracer()
+        assert resolve_tracer(null) is null
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_tracer(42)
+
+
+class TestNullTracer:
+    def test_satisfies_protocol_and_swallows_everything(self):
+        tr = NullTracer()
+        assert isinstance(tr, Tracer)
+        tr.instr(1, 0, 1, 1, 0x100, "LOAD", "issue")
+        tr.atomic_decision(1, 0, 0x100, True, 0, 1)
+        tr.atomic_span(1, 0, 0x100, 0x40, 0, 0, 0, True, False, False, False)
+        tr.coh(1, 2, FakeMsg(), False)
+        tr.dir_transition(1, 0, 0x40, "I", "M")

@@ -99,6 +99,52 @@ class TestPlus2Minus1:
         assert pred.predict(0x40) is False
 
 
+class TestThresholdBoundaries:
+    """Mode × threshold matrix at the exact boundary counter values.
+
+    The docstring contract: UpDown and +2/−1 predict lazy when the counter
+    *exceeds* ``updown_threshold`` (default 1); Saturate when it exceeds
+    ``saturate_threshold`` (default 0).  Strictly-greater, never >=.
+    """
+
+    @pytest.mark.parametrize(
+        "kind,threshold_kw",
+        [
+            (PredictorKind.UPDOWN, "updown_threshold"),
+            (PredictorKind.PLUS2MINUS1, "updown_threshold"),
+            (PredictorKind.SATURATE, "saturate_threshold"),
+        ],
+    )
+    @pytest.mark.parametrize("threshold", [0, 1, 3])
+    def test_strictly_greater_than_threshold(self, kind, threshold_kw, threshold):
+        pred = make(kind, **{threshold_kw: threshold})
+        pc = 0x40
+        pred.table[pred.index(pc)] = threshold
+        assert pred.predict(pc) is False, "counter == threshold must be eager"
+        pred.table[pred.index(pc)] = threshold + 1
+        assert pred.predict(pc) is True, "counter == threshold+1 must be lazy"
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (PredictorKind.UPDOWN, 1),
+            (PredictorKind.PLUS2MINUS1, 1),
+            (PredictorKind.SATURATE, 0),
+        ],
+    )
+    def test_default_threshold_per_mode(self, kind, expected):
+        assert make(kind).threshold == expected
+
+    def test_plus2minus1_reuses_updown_threshold(self):
+        assert make(PredictorKind.PLUS2MINUS1, updown_threshold=5).threshold == 5
+
+    def test_counter_accessor_tracks_table(self):
+        pred = make()
+        assert pred.counter(0x40) == 0
+        pred.update(0x40, True)
+        assert pred.counter(0x40) == 1
+
+
 class TestAliasing:
     def test_aliased_pcs_share_counter(self):
         pred = make()
