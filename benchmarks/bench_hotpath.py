@@ -1,0 +1,108 @@
+"""Hot-path allocation cost of the per-instruction/per-message records.
+
+The three highest-volume allocations in the model are :class:`DynInstr`
+(one per fetched instruction), :class:`AQEntry` (one per dynamic atomic)
+and :class:`Message` (several per cache miss).  All three are ``__slots__``
+classes; this bench keeps that from silently regressing.
+
+The "before" side of the delta is reconstructed live: for each slotted
+dataclass we synthesize a ``__dict__``-based twin with the same fields and
+compare per-instance memory, so the printed numbers stay honest as fields
+are added.  Structural properties (no ``__dict__``, smaller instances) are
+asserted; wall-clock allocation rates are printed for the record but not
+asserted — timing assertions flake under CI load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+
+from repro.core.dyninstr import AQEntry, DynInstr
+from repro.isa.instructions import Instruction, InstrClass
+from repro.memory.messages import Message, MsgKind
+
+SLOTTED_DATACLASSES = (AQEntry, Message)
+ALLOC_COUNT = 200_000
+
+
+def _instance_size(obj) -> int:
+    """Instance memory including the ``__dict__`` sidecar when present."""
+    size = sys.getsizeof(obj)
+    inst_dict = getattr(obj, "__dict__", None)
+    if inst_dict is not None:
+        size += sys.getsizeof(inst_dict)
+    return size
+
+
+def _dict_twin(cls):
+    """The same dataclass, rebuilt without ``slots=True``."""
+    return dataclasses.make_dataclass(
+        cls.__name__ + "Dict",
+        [
+            (f.name, f.type, dataclasses.field(default=None))
+            for f in dataclasses.fields(cls)
+        ],
+    )
+
+
+def _sample_dyn() -> DynInstr:
+    static = Instruction(seq=0, pc=0x1000, cls=InstrClass.ALU)
+    return DynInstr(static, uid=0, fetch_cycle=0)
+
+
+def _sample_message() -> Message:
+    return Message(kind=MsgKind.GETS, line=0x40, src=0, dst=1)
+
+
+def test_no_instance_dict():
+    """``slots=True`` held: none of the hot records grow a ``__dict__``."""
+    samples = [
+        _sample_dyn(),
+        AQEntry(dyn=_sample_dyn()),
+        _sample_message(),
+    ]
+    for obj in samples:
+        assert not hasattr(obj, "__dict__"), type(obj).__name__
+        try:
+            obj.attribute_that_does_not_exist = 1
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - regression path
+            raise AssertionError(
+                f"{type(obj).__name__} accepts arbitrary attributes"
+            )
+
+
+def test_slots_shrink_instances():
+    """Each slotted dataclass beats its ``__dict__``-based twin."""
+    print()
+    for cls in SLOTTED_DATACLASSES:
+        twin = _dict_twin(cls)
+        slotted = (
+            AQEntry(dyn=_sample_dyn()) if cls is AQEntry else _sample_message()
+        )
+        dict_based = twin()
+        before, after = _instance_size(dict_based), _instance_size(slotted)
+        print(
+            f"  {cls.__name__:8s} dict={before:4d} B  slots={after:4d} B  "
+            f"({100 * (before - after) / before:.0f}% smaller)"
+        )
+        assert after < before, cls.__name__
+
+
+def test_allocation_rate_report():
+    """Print allocation throughput for the record (not asserted)."""
+    static = Instruction(seq=0, pc=0x1000, cls=InstrClass.ALU)
+    print()
+    for name, make in (
+        ("DynInstr", lambda: DynInstr(static, uid=0, fetch_cycle=0)),
+        ("AQEntry", lambda: AQEntry(dyn=None)),
+        ("Message", _sample_message),
+    ):
+        start = time.perf_counter()
+        for _ in range(ALLOC_COUNT):
+            make()
+        elapsed = time.perf_counter() - start
+        print(f"  {name:8s} {ALLOC_COUNT / elapsed / 1e6:6.2f} M alloc/s")

@@ -30,7 +30,9 @@ from repro.common.params import (
     PredictorKind,
 )
 from repro.common.stats import geomean
+from repro.sim.multicore import MulticoreSimulator
 from repro.workloads.profiles import WorkloadProfile, get_profile
+from repro.workloads.synthetic import build_program
 
 # The ablations run on the workloads whose behaviour stresses each choice:
 # contended apps expose predictor aliasing; mixed apps expose update policy.
@@ -242,10 +244,94 @@ def sb_depth_ablation(
     return fig
 
 
+def collect_contended_pcs(
+    workload: str | WorkloadProfile,
+    params,
+    scale: ExperimentScale,
+    seed: int = 0,
+) -> tuple[int, ...]:
+    """Profiling pass for the two-pass oracle: which atomic PCs are truly
+    contended?
+
+    Runs one simulation and unions each core's
+    :attr:`~repro.core.atomic_policy.AtomicPolicyBase.truth_by_pc` — the
+    per-PC OR of the ground-truth contention verdict recorded at every
+    atomic's unlock.  The mode of the profiling run barely matters (truth
+    is recorded under every policy); we use whatever ``params`` says.
+
+    This bypasses the Runner/cache on purpose: ``truth_by_pc`` is observer
+    state on the live cores, not part of the cached ``RunMetrics`` schema.
+    """
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    program = build_program(
+        profile,
+        min(scale.num_threads, params.num_cores),
+        scale.instructions_per_thread,
+        seed=seed,
+    )
+    sim = MulticoreSimulator(params, program)
+    sim.run()
+    pcs: set[int] = set()
+    for core in sim.cores:
+        pcs.update(pc for pc, hot in core.policy.truth_by_pc.items() if hot)
+    return tuple(sorted(pcs))
+
+
+def oracle_schedule_ablation(
+    scale: ExperimentScale | None = None,
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+    runner: Runner | None = None,
+) -> FigureData:
+    """Two-pass oracle upper bound on per-PC atomic scheduling.
+
+    Pass 1 profiles each workload (eager, first seed) and collects the set
+    of truly contended atomic PCs; pass 2 replays with
+    ``AtomicMode.ORACLE`` so exactly those PCs execute lazy.  The gap
+    between RoW and the oracle is the headroom left to the predictor;
+    the gap between the oracle and all-lazy is what indiscriminate
+    laziness costs."""
+    scale, runner = _scale(scale), _runner(runner)
+    base = base_params(scale)
+    eager = config(base, AtomicMode.EAGER)
+    lazy = config(base, AtomicMode.LAZY)
+    row = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
+    fig = FigureData(
+        "Ablation-F",
+        "Profile-guided oracle vs realizable policies (normalized to eager)",
+        ["workload", "lazy", "row", "oracle", "oracle_pcs"],
+    )
+    for wl in workloads:
+        pcs = collect_contended_pcs(wl, eager, scale, seed=scale.seeds[0])
+        oracle = replace(
+            eager,
+            atomic_mode=AtomicMode.ORACLE,
+            row=replace(eager.row, oracle_contended_pcs=pcs),
+        )
+        runner.prefetch(RunSpec.grid([wl], [eager, lazy, row, oracle], scale))
+        fig.add_row(
+            wl,
+            runner.normalized_time(wl, lazy, eager, scale),
+            runner.normalized_time(wl, row, eager, scale),
+            runner.normalized_time(wl, oracle, eager, scale),
+            len(pcs),
+        )
+    agg: list[object] = ["GEOMEAN"]
+    for i in range(1, len(fig.columns) - 1):
+        agg.append(geomean([r[i] for r in fig.rows]))
+    agg.append("")
+    fig.add_row(*agg)
+    fig.notes.append(
+        "oracle = per-PC ground truth from a profiling pass; an ideal"
+        " predictor with zero training/aliasing loss would match it"
+    )
+    return fig
+
+
 ALL_ABLATIONS = {
     "predictor_entries": predictor_entries_ablation,
     "counter_width": counter_width_ablation,
     "predictor_policy": predictor_policy_comparison,
     "aq_depth": aq_depth_ablation,
     "sb_depth": sb_depth_ablation,
+    "oracle_schedule": oracle_schedule_ablation,
 }

@@ -95,13 +95,19 @@ def base_params(scale: ExperimentScale) -> SystemParams:
 
 def config(
     base: SystemParams,
-    mode: AtomicMode,
+    mode: AtomicMode | str,
     detection: DetectionMode | None = None,
     predictor: PredictorKind | None = None,
     forwarding: bool = False,
     latency_threshold: int | None | str = "default",
 ) -> SystemParams:
-    """Build a run configuration from a base parameter set."""
+    """Build a run configuration from a base parameter set.
+
+    ``mode`` accepts either an :class:`AtomicMode` or its value name
+    (``"eager"``, ``"row"``, ...) so CLI flags and notebook strings feed
+    straight through without an enum import.
+    """
+    mode = AtomicMode.from_name(mode)
     row_overrides: dict[str, object] = {"forward_to_atomics": forwarding}
     if detection is not None:
         row_overrides["detection"] = detection

@@ -8,8 +8,8 @@ microbench run the Sec. II-A fence microbenchmark
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
 validate   check the paper's qualitative claims end to end
-lint       static protocol + convention lint over the simulator sources
-check      lint + tier-1 test suite (the CI gate)
+lint       static protocol/convention/architecture lint over the sources
+check      lint + golden-stats bit-identity + tier-1 tests (the CI gate)
 
 ``figure``, ``sweep`` and ``validate`` accept ``--jobs/-j N`` to fan the
 (workload × config × seed) job grid across worker processes, and
@@ -115,7 +115,7 @@ def cmd_run(args) -> int:
         args.workload, min(args.threads, params.num_cores), args.instructions,
         seed=args.seed,
     )
-    modes = [AtomicMode(m) for m in args.modes]
+    modes = [AtomicMode.from_name(m) for m in args.modes]
     rows = []
     baseline = None
     for mode in modes:
@@ -169,20 +169,48 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def _check_golden() -> int:
+    """Golden-stats gate: re-simulate the reference grid and demand that
+    every RunMetrics JSON matches the stored snapshot bit for bit."""
+    from repro.analysis.golden import DEFAULT_SNAPSHOT, golden_grid, verify_golden
+
+    try:
+        mismatches = verify_golden()
+    except FileNotFoundError:
+        print(
+            f"golden snapshot missing ({DEFAULT_SNAPSHOT});"
+            " baseline it with: python -m repro.analysis.golden"
+        )
+        return 1
+    if mismatches:
+        for mismatch in mismatches:
+            print(mismatch)
+        print(
+            f"{len(mismatches)} golden cell(s) drifted — if the behaviour"
+            " change is intentional, re-baseline with:"
+            " python -m repro.analysis.golden"
+        )
+        return 1
+    print(f"golden stats bit-identical ({len(golden_grid())} cells)")
+    return 0
+
+
 def cmd_check(args) -> int:
-    """The CI gate: protocol/convention lint plus the tier-1 test suite."""
+    """The CI gate: lint, golden-stats bit-identity, tier-1 test suite."""
     import subprocess
 
     print("== repro lint ==")
     lint_rc = cmd_lint(args)
     if args.lint_only:
         return lint_rc
+    print("== golden stats ==")
+    golden_rc = _check_golden()
     print("== tier-1 tests ==")
     cmd = [sys.executable, "-m", "pytest", "-x", "-q"] + (
         args.pytest_args or ["tests"]
     )
     test_rc = subprocess.call(cmd)
-    return lint_rc or test_rc
+    return lint_rc or golden_rc or test_rc
 
 
 def cmd_figure(args) -> int:
@@ -323,7 +351,7 @@ def _cmd_trace_program(args) -> int:
         )
         return 0
     # target == "run"
-    params = _params(args).with_atomic_mode(AtomicMode(args.mode))
+    params = _params(args).with_atomic_mode(AtomicMode.from_name(args.mode))
     result = simulate(params, program)
     print(
         f"{program.name}: {result.cycles:,} cycles, ipc={result.ipc:.2f}, "
@@ -372,7 +400,7 @@ def _cmd_trace_events(args) -> int:
     except ValueError as exc:
         raise UsageError(str(exc)) from exc
     tracer = EventTrace(config)
-    params = _params(args).with_atomic_mode(AtomicMode(args.mode))
+    params = _params(args).with_atomic_mode(AtomicMode.from_name(args.mode))
     result = simulate(params, program, trace=tracer)
     out = write_chrome_trace(tracer, args.out)
     print(
@@ -433,7 +461,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(fn=cmd_lint)
 
     p_check = sub.add_parser(
-        "check", help="CI gate: lint + tier-1 tests (exit nonzero on failure)"
+        "check",
+        help="CI gate: lint + golden stats + tier-1 tests"
+        " (exit nonzero on failure)",
     )
     p_check.add_argument(
         "--root", help="lint a tree other than the installed repro package"

@@ -24,6 +24,10 @@ class AtomicMode(enum.Enum):
     x86 processor" behaviour in Fig. 2); FAR is an extension along the
     related-work axis the paper discusses (near vs far atomics): the RMW
     executes at the line's home L3/directory bank with no line transfer.
+    ORACLE is the profile-guided upper bound the RoW predictor
+    approximates: atomics whose PC is in ``RowParams.oracle_contended_pcs``
+    (collected from a prior run's ground truth) execute lazy, all others
+    eager.
     """
 
     EAGER = "eager"
@@ -31,6 +35,20 @@ class AtomicMode(enum.Enum):
     ROW = "row"
     FENCED = "fenced"
     FAR = "far"
+    ORACLE = "oracle"
+
+    @classmethod
+    def from_name(cls, name: "str | AtomicMode") -> "AtomicMode":
+        """Resolve a mode by value name (``"row"``) or pass one through."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name)
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown atomic mode {name!r} (valid: {valid})"
+            ) from None
 
 
 class DetectionMode(enum.Enum):
@@ -116,6 +134,10 @@ class RowParams:
     timestamp_bits: int = 14  # request-issued-cycle field width
     forward_to_atomics: bool = False  # store->atomic forwarding enabled
     promote_on_forward: bool = True  # lazy->eager when a matching store found
+    # Profile-guided contended-PC set for AtomicMode.ORACLE (two-pass
+    # experiments): a tuple so the config stays hashable/picklable for the
+    # result cache.
+    oracle_contended_pcs: tuple[int, ...] = ()
 
     @property
     def counter_max(self) -> int:

@@ -1,7 +1,45 @@
-"""Out-of-order core: pipeline, dynamic instructions, StoreSet, AQ entries."""
+"""Out-of-order core: coordinator pipeline plus its typed subsystems.
 
+Layer layout (PR 4): :class:`Core` coordinates the per-cycle stage loop
+and delegates to :class:`LoadStoreUnit` (LQ/SB/locks),
+an :class:`AtomicPolicyBase` subclass (AQ + eager/lazy/RoW/fenced/far/
+oracle execution), and :class:`RecoveryUnit` (flush/fences).  The memory
+side is reached only through the :mod:`repro.core.ports` protocols.
+"""
+
+from repro.core.atomic_policy import (
+    AtomicPolicyBase,
+    EagerPolicy,
+    FarPolicy,
+    FencedPolicy,
+    LazyPolicy,
+    OraclePolicy,
+    RowPolicy,
+    make_policy,
+)
 from repro.core.dyninstr import AQEntry, DynInstr
+from repro.core.lsq import LoadStoreUnit
 from repro.core.pipeline import Core
+from repro.core.ports import CoreServices, MemoryImagePort, MemoryPort
+from repro.core.recovery import RecoveryUnit
 from repro.core.storeset import StoreSetPredictor
 
-__all__ = ["AQEntry", "Core", "DynInstr", "StoreSetPredictor"]
+__all__ = [
+    "AQEntry",
+    "AtomicPolicyBase",
+    "Core",
+    "CoreServices",
+    "DynInstr",
+    "EagerPolicy",
+    "FarPolicy",
+    "FencedPolicy",
+    "LazyPolicy",
+    "LoadStoreUnit",
+    "MemoryImagePort",
+    "MemoryPort",
+    "OraclePolicy",
+    "RecoveryUnit",
+    "RowPolicy",
+    "StoreSetPredictor",
+    "make_policy",
+]

@@ -124,7 +124,7 @@ class DynInstr:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class AQEntry:
     """One Atomic Queue entry (Free Atomics, augmented by RoW).
 
@@ -132,6 +132,10 @@ class AQEntry:
     *only-calculate-address* bit and a 14-bit *request issued cycle*
     timestamp.  ``contended_truth`` is simulator-omniscient ground truth
     (used for Fig. 5 and predictor-accuracy stats), not hardware state.
+
+    ``slots=True``: entries are allocated once per dynamic atomic, the
+    hottest allocation in the model next to :class:`DynInstr` (which is a
+    hand-rolled ``__slots__`` class for the same reason).
     """
 
     dyn: DynInstr

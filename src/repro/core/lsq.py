@@ -1,0 +1,376 @@
+"""Load-store unit: LQ/SB queues, forwarding, drain, violations, line locks.
+
+Split out of the ``Core`` god-class (PR 4).  The :class:`LoadStoreUnit`
+owns everything memory-ordering related that is *not* an atomic-execution
+policy decision:
+
+* the load queue (LQ) and store buffer (SB), in program order;
+* store-to-load forwarding (:meth:`find_store_match`, the forwarding legs
+  of :meth:`process_load`);
+* the SB drain state machine (:meth:`drain_sb`), including the atomic
+  head hand-off to the policy's :meth:`unlock
+  <repro.core.atomic_policy.AtomicPolicyBase.unlock>`;
+* memory-order violation checks (:meth:`check_violations`) and the TSO
+  load-queue snoop (:meth:`on_invalidation`);
+* the StoreSet memory-dependence predictor and the three parking lots for
+  loads blocked on unresolved stores, in-flight atomic results, and
+  undrained matching stores;
+* the **line-lock table**: every mutation of a locked-line count goes
+  through :meth:`lock_line` / :meth:`unlock_line` — no other unit touches
+  it (this used to be spread over three call sites in the god-class).
+
+The unit talks to memory exclusively through the
+:class:`~repro.core.ports.MemoryPort` / :class:`~repro.core.ports.MemoryImagePort`
+protocols and calls back into the pipeline through
+:class:`~repro.core.ports.CoreServices`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.common.params import AtomicMode
+from repro.core.dyninstr import DynInstr
+from repro.core.storeset import StoreSetPredictor
+from repro.isa.instructions import InstrClass
+from repro.sanitize.errors import ProtocolInvariantError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.atomic_policy import AtomicPolicyBase
+    from repro.core.ports import CoreServices
+    from repro.core.recovery import RecoveryUnit
+
+
+class LoadStoreUnit:
+    """One core's LQ/SB complex, behind a typed constructor contract."""
+
+    def __init__(self, core: "CoreServices") -> None:
+        self.core = core
+        params = core.params
+        self.params = params
+        self.stats = core.stats
+
+        self.lq: deque[DynInstr] = deque()
+        self.sb: deque[DynInstr] = deque()
+        self.storeset = (
+            StoreSetPredictor(
+                params.storeset_ssit_entries, params.storeset_lfst_entries
+            )
+            if params.use_storeset
+            else None
+        )
+
+        # Parking lots ---------------------------------------------------
+        # loads blocked on a StoreSet-predicted older store (by store uid)
+        self.storeset_waiting: dict[int, list[DynInstr]] = {}
+        # loads blocked on an in-flight atomic's result (by atomic uid)
+        self.memdep_waiting: dict[int, list[DynInstr]] = {}
+        # atomics blocked until an older matching store drains (by uid)
+        self.drain_waiting: dict[int, list[DynInstr]] = {}
+
+        # Line-lock table (cache locking): line -> active lock count.
+        self.locked_lines: dict[int, int] = {}
+
+        # Wired after construction (units are built in dependency order).
+        self.policy: "AtomicPolicyBase | None" = None
+        self.recovery: "RecoveryUnit | None" = None
+
+    # ------------------------------------------------------------------
+    # Line locking — the single home of lock bookkeeping
+    # ------------------------------------------------------------------
+
+    def is_line_locked(self, line: int) -> bool:
+        return self.locked_lines.get(line, 0) > 0
+
+    def lock_line(self, line: int) -> None:
+        """Take (or stack) a lock on a line and pin it in the caches."""
+        self.locked_lines[line] = self.locked_lines.get(line, 0) + 1
+        self.core.port.pin(line)
+
+    def unlock_line(self, line: int) -> None:
+        """Drop one lock; on the last one, unpin and replay stalled
+        external requests."""
+        count = self.locked_lines.get(line, 0)
+        if count <= 1:
+            self.locked_lines.pop(line, None)
+            self.core.port.unpin_and_release(line)
+        else:
+            self.locked_lines[line] = count - 1
+
+    # ------------------------------------------------------------------
+    # Dispatch-side bookkeeping
+    # ------------------------------------------------------------------
+
+    def enqueue(self, dyn: DynInstr) -> None:
+        """Allocate LQ/SB entries for a newly dispatched instruction."""
+        cls = dyn.cls
+        if cls in (InstrClass.LOAD, InstrClass.ATOMIC):
+            self.lq.append(dyn)
+        if cls in (InstrClass.STORE, InstrClass.ATOMIC):
+            self.sb.append(dyn)
+            if self.storeset is not None:
+                self.storeset.store_dispatched(dyn)
+
+    # ------------------------------------------------------------------
+    # Stores
+    # ------------------------------------------------------------------
+
+    def issue_store(self, dyn: DynInstr, now: int) -> None:
+        dyn.addr_computed = True
+        self.core.issue_bookkeeping(dyn, now)
+        self.store_resolved(dyn)
+        self.check_violations(dyn, now)
+        self.core.schedule_complete(dyn, 1)
+
+    def store_resolved(self, dyn: DynInstr) -> None:
+        """A store/atomic resolved its address: train the StoreSet and wake
+        loads parked behind the prediction."""
+        if self.storeset is not None:
+            self.storeset.store_resolved(dyn)
+            waiters = self.storeset_waiting.pop(dyn.uid, None)
+            if waiters:
+                for w in waiters:
+                    self.core.wake(w)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+
+    def process_load(self, dyn: DynInstr, now: int) -> bool:
+        """Returns True if the load consumed an issue slot this cycle."""
+        if self.storeset is not None:
+            dep = self.storeset.load_dependence(dyn.pc)
+            if (
+                dep is not None
+                and not dep.addr_computed
+                and dep.seq < dyn.seq
+                and not dep.squashed
+            ):
+                self.storeset_waiting.setdefault(dep.uid, []).append(dyn)
+                self.stats.counter("loads_storeset_blocked").add()
+                return False
+        dyn.addr_computed = True
+        match = self.find_store_match(dyn)
+        if match is not None:
+            if match.cls is InstrClass.ATOMIC and not match.completed:
+                # Memory dependence through an in-flight atomic's result.
+                self.memdep_waiting.setdefault(match.uid, []).append(dyn)
+                return False
+            self.core.issue_bookkeeping(dyn, now)
+            dyn.fwd_store_seq = match.seq
+            dyn.fwd_store_uid = match.uid
+            if match.cls is InstrClass.ATOMIC:
+                dyn.value = match.new_mem_value
+            else:
+                dyn.value = match.static.operand
+            self.stats.counter("loads_forwarded").add()
+            self.core.schedule_complete(dyn, self.params.store_forward_cycles)
+            return True
+        self.core.issue_bookkeeping(dyn, now)
+        dyn.mem_requested = True
+        self.stats.counter("loads_to_memory").add()
+        self.core.port.access(
+            dyn.line,
+            excl=False,
+            cb=lambda when, priv, lat, d=dyn: self.on_load_data(d, when),
+            pc=dyn.pc,
+        )
+        return True
+
+    def find_store_match(self, load: DynInstr) -> DynInstr | None:
+        """Youngest older SB entry with a resolved matching address."""
+        addr = load.static.addr
+        seq = load.seq
+        for candidate in reversed(self.sb):
+            if candidate.seq >= seq:
+                continue
+            if candidate.addr_computed and candidate.static.addr == addr:
+                return candidate
+        return None
+
+    def on_load_data(self, dyn: DynInstr, when: int) -> None:
+        self.core.note_activity()
+        if dyn.squashed:
+            return
+        dyn.value = self.core.image.read(dyn.addr)
+        dyn.value_read_from_memory = True
+        self.core.complete(dyn)
+
+    def wake_memdep_waiters(self, dyn: DynInstr) -> None:
+        """An in-flight atomic completed: release loads parked on its
+        result (called from the core's completion path)."""
+        waiters = self.memdep_waiting.pop(dyn.uid, None)
+        if waiters:
+            for w in waiters:
+                self.core.wake(w)
+
+    # ------------------------------------------------------------------
+    # Commit-side interface
+    # ------------------------------------------------------------------
+
+    def commit_load_head(self, head: DynInstr, now: int) -> None:
+        """Retire a committing load/atomic from the LQ head (alignment is a
+        protocol invariant, not an assumption)."""
+        if not self.lq or self.lq[0] is not head:
+            raise ProtocolInvariantError(
+                "lq-commit-alignment",
+                f"core {self.core.core_id} committing seq {head.seq} but "
+                f"it is not at the load-queue head",
+                line=head.line,
+                cycle=now,
+            )
+        self.lq.popleft()
+
+    # ------------------------------------------------------------------
+    # Store buffer drain
+    # ------------------------------------------------------------------
+
+    def drain_sb(self, now: int) -> bool:
+        if not self.sb:
+            return False
+        head = self.sb[0]
+        if not head.committed:
+            return False
+        line = head.line
+        policy = self.policy
+        assert policy is not None
+        if head.cls is InstrClass.ATOMIC:
+            if self.core.mode is not AtomicMode.FAR:
+                # The line is locked and owned: the write happens immediately.
+                self.core.image.write(head.addr, head.new_mem_value)
+            # (far atomics already wrote at the home bank)
+            policy.unlock(head, now)
+            self.sb.popleft()
+            self.wake_drain_waiters(head)
+            return True
+        # Plain store: needs M permission to write.
+        port = self.core.port
+        if port.has_permission(line, excl=True):
+            port.mark_dirty(line)
+            self.core.image.write(head.addr, head.static.operand)
+            self.sb.popleft()
+            self.stats.counter("stores_drained").add()
+            self.wake_drain_waiters(head)
+            return True
+        if not head.write_requested:
+            head.write_requested = True
+
+            def granted(*_args, d=head) -> None:
+                # Permission may be stolen again before the write happens;
+                # clearing the flag lets the drain loop re-request.
+                d.write_requested = False
+                self.core.note_activity()
+
+            port.access(line, excl=True, cb=granted)
+            return True
+        return False
+
+    def park_until_drained(self, blocker: DynInstr, atomic: DynInstr) -> None:
+        """An atomic must wait for an older matching store/atomic to drain
+        before reading its value from memory."""
+        self.drain_waiting.setdefault(blocker.uid, []).append(atomic)
+
+    def wake_drain_waiters(self, drained: DynInstr) -> None:
+        waiters = self.drain_waiting.pop(drained.uid, None)
+        if waiters:
+            policy = self.policy
+            assert policy is not None
+            for atomic in waiters:
+                policy.try_compute(atomic)
+
+    # ------------------------------------------------------------------
+    # Memory-order violations and the TSO LQ snoop
+    # ------------------------------------------------------------------
+
+    def check_violations(self, store_dyn: DynInstr, now: int) -> None:
+        """A store/atomic resolved its address: squash younger loads that
+        consumed (or will consume) a stale memory value (store-set miss)."""
+        addr = store_dyn.static.addr
+        victim = None
+        for load in self.lq:
+            if load.seq <= store_dyn.seq or load.squashed or load.committed:
+                continue
+            if load.static.addr != addr:
+                continue
+            if load.cls is InstrClass.ATOMIC:
+                # A younger atomic that already performed its read against
+                # memory jumped this older same-address write: replay it.
+                stale = load.compute_pending and (
+                    load.fwd_store_seq is None
+                    or load.fwd_store_seq < store_dyn.seq
+                )
+            elif not load.issued:
+                continue
+            else:
+                stale = (
+                    (load.mem_requested and load.fwd_store_uid is None)
+                    or (
+                        load.fwd_store_seq is not None
+                        and load.fwd_store_seq < store_dyn.seq
+                    )
+                )
+            if stale:
+                victim = load
+                break
+        if victim is None:
+            return
+        self.stats.counter("order_violations").add()
+        if self.storeset is not None:
+            self.storeset.train_violation(victim.pc, store_dyn.pc)
+        recovery = self.recovery
+        assert recovery is not None
+        recovery.flush_from(
+            victim, now, penalty=self.params.order_violation_flush_penalty
+        )
+
+    def on_invalidation(self, line: int) -> None:
+        """LQ snoop on an external invalidation (TSO): squash completed but
+        uncommitted loads that read the invalidated line from memory."""
+        self.core.note_activity()
+        victim = None
+        for load in self.lq:
+            if load.cls is InstrClass.ATOMIC or load.squashed or load.committed:
+                continue
+            if load.static.line != line:
+                continue
+            if load.value_read_from_memory and load.fwd_store_uid is None:
+                victim = load
+                break
+        if victim is not None:
+            self.stats.counter("inv_squashes").add()
+            recovery = self.recovery
+            assert recovery is not None
+            recovery.flush_from(
+                victim,
+                self.core.engine.now,
+                penalty=self.params.order_violation_flush_penalty,
+            )
+
+    # ------------------------------------------------------------------
+    # Flush support (driven by the recovery unit)
+    # ------------------------------------------------------------------
+
+    def note_squashed(self, dyn: DynInstr) -> None:
+        """Per-instruction squash bookkeeping for stores/atomics."""
+        if self.storeset is not None and dyn.cls in (
+            InstrClass.STORE,
+            InstrClass.ATOMIC,
+        ):
+            self.storeset.store_squashed(dyn)
+
+    def drop_squashed_tails(self) -> None:
+        """LQ/SB are in program order: squashed entries form the tails."""
+        while self.lq and self.lq[-1].squashed:
+            self.lq.pop()
+        while self.sb and self.sb[-1].squashed:
+            self.sb.pop()
+
+    def prune_squashed_waiters(self) -> None:
+        """Drop parking-lot entries whose waiters all squashed (blockers of
+        parked items are always older, so parked items squash together with
+        their blockers)."""
+        for table in (self.storeset_waiting, self.memdep_waiting, self.drain_waiting):
+            stale = [uid for uid, lst in table.items() if all(w.squashed for w in lst)]
+            for uid in stale:
+                del table[uid]

@@ -6,19 +6,25 @@ drain, issue, dispatch, fetch.  Everything with latency (functional units,
 cache hits, coherence misses) completes through events on the global
 :class:`~repro.sim.engine.EventEngine`.
 
-Atomic execution policies (Sec. II/III of the paper):
+Since PR 4 the ``Core`` is a thin coordinator over three typed subsystems
+(see ``docs/architecture.md`` for the full migration table):
 
-* **eager** — the atomic's load_lock issues as soon as its operands are
-  ready; the line is locked from data arrival until the store_unlock drains.
-* **lazy** — the atomic waits until it is the oldest memory instruction
-  (head of the LQ) and the SB is drained (its own store_unlock at the SB
-  head); younger instructions still execute speculatively around it.
-* **RoW** — per-atomic choice by the contention predictor, with the
-  only-calculate-address pass feeding the ready-window detector and the
-  store-forwarding promotion preserving atomic locality.
-* **fenced** — the legacy implementation: lazy issue plus full serialization
-  of younger memory operations until the atomic unlocks (the "old x86
-  processor" behaviour of Fig. 2).
+* :class:`~repro.core.lsq.LoadStoreUnit` (``core.lsq``) — LQ/SB, store
+  forwarding, SB drain, memory-order violation checks, and the single
+  home of line-lock bookkeeping;
+* an :class:`~repro.core.atomic_policy.AtomicPolicyBase` subclass
+  (``core.policy``) — one per :class:`~repro.common.params.AtomicMode`:
+  eager / lazy / RoW / fenced / far / oracle; owns the Atomic Queue,
+  contention detection and the unlock accounting;
+* :class:`~repro.core.recovery.RecoveryUnit` (``core.recovery``) —
+  squash-and-refetch flushes and MFENCE tracking.
+
+The core reaches memory only through the
+:class:`~repro.core.ports.MemoryPort` / ``MemoryImagePort`` protocols
+(enforced by ``repro lint``); the units call back through
+:class:`~repro.core.ports.CoreServices`, which this class implements.
+The eager/lazy/RoW/fenced execution policies themselves (Sec. II/III of
+the paper) are documented in :mod:`repro.core.atomic_policy`.
 
 Forward progress: eager cache locking admits cross-core lock/drain cycles
 (core A holds X locked while an older store waits on Y; core B holds Y
@@ -34,24 +40,21 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING
 
-from repro.common.params import AtomicMode, SystemParams
+from repro.common.params import SystemParams
 from repro.common.stats import AtomicLatencyBreakdown, StatGroup
+from repro.core.atomic_policy import RowPolicy, make_policy
 from repro.core.dyninstr import AQEntry, DynInstr
-from repro.core.storeset import StoreSetPredictor
+from repro.core.lsq import LoadStoreUnit
+from repro.core.recovery import RecoveryUnit
 from repro.frontend.branch import make_branch_predictor
-from repro.isa.instructions import InstrClass, ThreadTrace, apply_atomic
-from repro.memory.controller import PrivateCacheController
-from repro.memory.image import MemoryImage
-from repro.memory.messages import Message, MsgKind
-from repro.row.detection import ContentionDetector, oracle_contended, stamp
-from repro.row.mechanism import RowMechanism
-from repro.sanitize.errors import ProtocolInvariantError
+from repro.isa.instructions import InstrClass, ThreadTrace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ports import MemoryImagePort, MemoryPort
+    from repro.core.storeset import StoreSetPredictor
     from repro.obs.tracer import Tracer
+    from repro.row.mechanism import RowMechanism
     from repro.sim.engine import EventEngine
-
-_UNSET = -1
 
 
 class Core:
@@ -63,15 +66,15 @@ class Core:
         params: SystemParams,
         trace: ThreadTrace,
         engine: "EventEngine",
-        controller: PrivateCacheController,
-        image: MemoryImage,
+        controller: "MemoryPort",
+        image: "MemoryImagePort",
         tracer: "Tracer | None" = None,
     ) -> None:
         self.core_id = core_id
         self.params = params
         self.trace = trace
         self.engine = engine
-        self.controller = controller
+        self.port = controller
         self.image = image
         self.mode = params.atomic_mode
         self.stats = StatGroup(f"core{core_id}")
@@ -79,58 +82,20 @@ class Core:
         # Observer-only hook (repro.obs): emissions are guarded with
         # ``is not None`` so a disabled trace costs one branch per site.
         self.tracer = tracer
-
-        self.row_mech = (
-            RowMechanism(params.row, self.stats, tracer=tracer, core_id=core_id)
-            if self.mode is AtomicMode.ROW
-            else None
-        )
-        self.detector = ContentionDetector(params.row)
-        # Ground-truth contention threshold tracks the (possibly scaled)
-        # Dir-detector threshold of the configuration.
-        self._truth_threshold = (
-            params.row.latency_threshold
-            if params.row.latency_threshold is not None
-            else 400
-        )
         self.branch_pred = make_branch_predictor(params.branch_predictor)
-        self.storeset = (
-            StoreSetPredictor(params.storeset_ssit_entries, params.storeset_lfst_entries)
-            if params.use_storeset
-            else None
-        )
 
         # Pipeline structures ------------------------------------------------
         self.rob: deque[DynInstr] = deque()
-        self.lq: deque[DynInstr] = deque()
-        self.sb: deque[DynInstr] = deque()
-        self.aq: deque[AQEntry] = deque()
         self.fetch_buffer: deque[DynInstr] = deque()
         self.ready: list[tuple[int, int, DynInstr]] = []
         self.inflight_by_seq: dict[int, DynInstr] = {}
         self.iq_used = 0
-
-        # Parking lots -------------------------------------------------------
-        self.lazy_waiting: list[DynInstr] = []
-        self.fence_waiting: list[DynInstr] = []
-        self.storeset_waiting: dict[int, list[DynInstr]] = {}
-        self.memdep_waiting: dict[int, list[DynInstr]] = {}
-        self.drain_waiting: dict[int, list[DynInstr]] = {}
-        self.fences_active: list[DynInstr] = []
-        self.fenced_atomics: list[DynInstr] = []
 
         # Fetch state ----------------------------------------------------
         self.next_fetch = 0
         self.fetch_resume_cycle = 0
         self.fetch_blocked_on: DynInstr | None = None
         self._uid = 0
-
-        # Cache locking ----------------------------------------------------
-        self.locked_lines: dict[int, int] = {}
-
-        # Far atomics: at most one in flight (they issue under the lazy
-        # condition, which serializes them per core).
-        self._far_pending: DynInstr | None = None
 
         self.done = False
         self.finish_cycle: int | None = None
@@ -139,29 +104,79 @@ class Core:
         # static seq (replays overwrite).  Litmus tests read these.
         self.load_values: dict[int, int] = {}
 
-        # Wire controller hooks.
-        controller.is_locked = self._is_line_locked
-        controller.on_external_blocked = self._on_external_blocked
-        controller.on_external_observed = self._on_external_observed
-        controller.on_invalidation = self._on_invalidation
-        controller.on_amo_resp = self._on_amo_resp
+        # Subsystem units (built in dependency order, then cross-wired).
+        self.lsq = LoadStoreUnit(self)
+        self.recovery = RecoveryUnit(self)
+        self.policy = make_policy(self, self.lsq, self.recovery)
+        self.lsq.policy = self.policy
+        self.lsq.recovery = self.recovery
+        self.recovery.lsq = self.lsq
+        self.recovery.policy = self.policy
+
+        # Wire controller hooks straight into the owning units.
+        controller.is_locked = self.lsq.is_line_locked
+        controller.on_external_blocked = self.policy.on_external_blocked
+        controller.on_external_observed = self.policy.on_external_observed
+        controller.on_invalidation = self.lsq.on_invalidation
+        controller.on_amo_resp = self.policy.on_amo_resp
 
     # ------------------------------------------------------------------
-    # Public helpers
+    # Shared services (the CoreServices surface used by the units)
     # ------------------------------------------------------------------
 
     def note_activity(self) -> None:
         self._event_activity = True
 
-    def _emit_instr(self, dyn: DynInstr, cycle: int, phase: str) -> None:
+    def emit_instr(self, dyn: DynInstr, cycle: int, phase: str) -> None:
         """Record one instruction-lifecycle milestone (tracer is non-None)."""
         self.tracer.instr(
             cycle, self.core_id, dyn.uid, dyn.seq, dyn.pc,
             dyn.cls.name, phase,
         )
 
-    def _is_line_locked(self, line: int) -> bool:
-        return self.locked_lines.get(line, 0) > 0
+    def issue_bookkeeping(self, dyn: DynInstr, now: int) -> None:
+        """Common issue-time state changes (flags, IQ slot, trace event)."""
+        dyn.issued = True
+        dyn.issue_cycle = now
+        self.iq_used -= 1
+        if self.tracer is not None:
+            self.emit_instr(dyn, now, "issue")
+
+    def schedule_complete(self, dyn: DynInstr, delay: int) -> None:
+        self.engine.schedule_in(max(1, delay), lambda: self.complete(dyn))
+
+    def complete(self, dyn: DynInstr) -> None:
+        if dyn.squashed or dyn.completed:
+            return
+        now = self.engine.now
+        dyn.completed = True
+        dyn.complete_cycle = now
+        self.note_activity()
+        for consumer in dyn.consumers:
+            if consumer.squashed:
+                continue
+            consumer.deps_left -= 1
+            if consumer.deps_left == 0:
+                consumer.ready_cycle = now
+                if not consumer.issued:
+                    heapq.heappush(self.ready, (consumer.seq, consumer.uid, consumer))
+        dyn.consumers.clear()
+        if dyn.cls is InstrClass.BRANCH:
+            self.branch_pred.update(dyn.pc, dyn.static.taken)
+            if dyn.mispredicted and self.fetch_blocked_on is dyn:
+                self.fetch_blocked_on = None
+                self.fetch_resume_cycle = max(
+                    self.fetch_resume_cycle, now + self.params.branch_misp_penalty
+                )
+                # Wake the core when the redirect penalty elapses so the
+                # idle-skip never strands a pending refetch.
+                self.engine.schedule(self.fetch_resume_cycle, self.note_activity)
+        self.lsq.wake_memdep_waiters(dyn)
+
+    def wake(self, dyn: DynInstr) -> None:
+        if not dyn.squashed and not dyn.issued:
+            heapq.heappush(self.ready, (dyn.seq, dyn.uid, dyn))
+            self.note_activity()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -174,7 +189,7 @@ class Core:
         worked = False
         if self._commit(now):
             worked = True
-        if self._drain_sb(now):
+        if self.lsq.drain_sb(now):
             worked = True
         if self._issue(now):
             worked = True
@@ -194,7 +209,7 @@ class Core:
             and self.next_fetch >= len(self.trace)
             and not self.fetch_buffer
             and not self.rob
-            and not self.sb
+            and not self.lsq.sb
         ):
             self.done = True
             self.finish_cycle = now
@@ -243,6 +258,7 @@ class Core:
         worked = False
         budget = self.params.issue_width
         p = self.params
+        lsq = self.lsq
         while budget and self.fetch_buffer:
             dyn = self.fetch_buffer[0]
             cls = dyn.cls
@@ -251,11 +267,11 @@ class Core:
             needs_iq = cls is not InstrClass.MFENCE
             if needs_iq and self.iq_used >= p.iq_entries:
                 break
-            if cls in (InstrClass.LOAD, InstrClass.ATOMIC) and len(self.lq) >= p.lq_entries:
+            if cls in (InstrClass.LOAD, InstrClass.ATOMIC) and len(lsq.lq) >= p.lq_entries:
                 break
-            if cls in (InstrClass.STORE, InstrClass.ATOMIC) and len(self.sb) >= p.sb_entries:
+            if cls in (InstrClass.STORE, InstrClass.ATOMIC) and len(lsq.sb) >= p.sb_entries:
                 break
-            if cls is InstrClass.ATOMIC and len(self.aq) >= p.aq_entries:
+            if cls is InstrClass.ATOMIC and len(self.policy.aq) >= p.aq_entries:
                 break
             self.fetch_buffer.popleft()
             self._do_dispatch(dyn, now)
@@ -271,7 +287,7 @@ class Core:
         self.inflight_by_seq[dyn.seq] = dyn
         self.stats.counter("dispatched").add()
         if self.tracer is not None:
-            self._emit_instr(dyn, now, "dispatch")
+            self.emit_instr(dyn, now, "dispatch")
 
         # Register dataflow: count unresolved producers.
         n = 0
@@ -283,48 +299,16 @@ class Core:
         dyn.deps_left = n
 
         cls = dyn.cls
-        if cls in (InstrClass.LOAD, InstrClass.ATOMIC):
-            self.lq.append(dyn)
-        if cls in (InstrClass.STORE, InstrClass.ATOMIC):
-            self.sb.append(dyn)
-            if self.storeset is not None:
-                self.storeset.store_dispatched(dyn)
+        self.lsq.enqueue(dyn)
         if cls is InstrClass.ATOMIC:
-            self._dispatch_atomic(dyn)
+            self.policy.on_dispatch(dyn)
         elif cls is InstrClass.MFENCE:
-            self.fences_active.append(dyn)
-            dyn.issued = True
-            dyn.issue_cycle = now
+            self.recovery.on_dispatch_fence(dyn, now)
 
         if cls is not InstrClass.MFENCE:
             if n == 0:
                 dyn.ready_cycle = now
                 heapq.heappush(self.ready, (dyn.seq, dyn.uid, dyn))
-
-    def _dispatch_atomic(self, dyn: DynInstr) -> None:
-        entry = AQEntry(dyn)
-        dyn.aq_entry = entry
-        self.aq.append(entry)
-        if self.mode is AtomicMode.EAGER:
-            dyn.exec_eager = True
-        elif self.mode in (AtomicMode.LAZY, AtomicMode.FAR):
-            # Far atomics also wait for the lazy condition: a drained SB
-            # keeps the remote RMW ordered after every older store (TSO).
-            dyn.exec_eager = False
-        elif self.mode is AtomicMode.FENCED:
-            dyn.exec_eager = False
-            self.fenced_atomics.append(dyn)
-        else:  # ROW
-            assert self.row_mech is not None
-            eager = self.row_mech.decide_eager(dyn.pc, cycle=dyn.dispatch_cycle)
-            dyn.exec_eager = eager
-            dyn.predicted_contended = not eager
-        entry.only_calc_addr = (
-            not dyn.exec_eager
-            and self.mode is AtomicMode.ROW
-            and self.detector.tracks_ready_window
-        )
-        self.stats.counter("atomics_dispatched").add()
 
     # ------------------------------------------------------------------
     # Issue
@@ -332,33 +316,22 @@ class Core:
 
     def _memory_barrier_seq(self) -> int | None:
         """Oldest active fence / fenced-atomic; younger memory ops stall."""
-        barrier = None
-        if self.fences_active:
-            barrier = self.fences_active[0].seq
-        if self.fenced_atomics:
-            b = self.fenced_atomics[0].seq
+        barrier = self.recovery.barrier_seq()
+        b = self.policy.barrier_seq()
+        if b is not None:
             barrier = b if barrier is None else min(barrier, b)
         return barrier
 
     def _issue(self, now: int) -> bool:
         worked = False
-        if self.fences_active and self._check_fences(now):
+        if self.recovery.fences_active and self.recovery.check_fences(now):
             worked = True
         budget = self.params.issue_width
 
-        # Lazy atomics whose turn arrived (list is in program order).
-        if self.lazy_waiting:
-            still_waiting = []
-            for dyn in self.lazy_waiting:
-                if dyn.squashed:
-                    continue
-                if budget and self._lazy_ready(dyn):
-                    self._issue_atomic_full(dyn, now)
-                    budget -= 1
-                    worked = True
-                else:
-                    still_waiting.append(dyn)
-            self.lazy_waiting = still_waiting
+        # Lazy atomics whose turn arrived.
+        budget, pumped = self.policy.pump(now, budget)
+        if pumped:
+            worked = True
 
         barrier = self._memory_barrier_seq()
         while budget and self.ready:
@@ -370,7 +343,7 @@ class Core:
                 and dyn.static.is_memory
                 and dyn.seq > barrier
             ):
-                self.fence_waiting.append(dyn)
+                self.recovery.park_behind_barrier(dyn)
                 continue
             cls = dyn.cls
             if cls in (InstrClass.ALU, InstrClass.BRANCH, InstrClass.NOP):
@@ -378,404 +351,22 @@ class Core:
                 budget -= 1
                 worked = True
             elif cls is InstrClass.STORE:
-                self._issue_store(dyn, now)
+                self.lsq.issue_store(dyn, now)
                 budget -= 1
                 worked = True
             elif cls is InstrClass.LOAD:
-                if self._process_load(dyn, now):
+                if self.lsq.process_load(dyn, now):
                     budget -= 1
                     worked = True
             else:  # ATOMIC
-                if self._process_atomic_first_issue(dyn, now):
+                if self.policy.first_issue(dyn, now):
                     budget -= 1
                     worked = True
         return worked
 
     def _issue_simple(self, dyn: DynInstr, now: int) -> None:
-        dyn.issued = True
-        dyn.issue_cycle = now
-        self.iq_used -= 1
-        if self.tracer is not None:
-            self._emit_instr(dyn, now, "issue")
-        self._schedule_complete(dyn, dyn.static.exec_latency)
-
-    def _issue_store(self, dyn: DynInstr, now: int) -> None:
-        dyn.issued = True
-        dyn.issue_cycle = now
-        dyn.addr_computed = True
-        self.iq_used -= 1
-        if self.tracer is not None:
-            self._emit_instr(dyn, now, "issue")
-        if self.storeset is not None:
-            self.storeset.store_resolved(dyn)
-            waiters = self.storeset_waiting.pop(dyn.uid, None)
-            if waiters:
-                for w in waiters:
-                    self._wake(w)
-        self._check_violations(dyn, now)
-        self._schedule_complete(dyn, 1)
-
-    # ----- loads ------------------------------------------------------
-
-    def _process_load(self, dyn: DynInstr, now: int) -> bool:
-        """Returns True if the load consumed an issue slot this cycle."""
-        if self.storeset is not None:
-            dep = self.storeset.load_dependence(dyn.pc)
-            if (
-                dep is not None
-                and not dep.addr_computed
-                and dep.seq < dyn.seq
-                and not dep.squashed
-            ):
-                self.storeset_waiting.setdefault(dep.uid, []).append(dyn)
-                self.stats.counter("loads_storeset_blocked").add()
-                return False
-        dyn.addr_computed = True
-        match = self._find_store_match(dyn)
-        if match is not None:
-            if match.cls is InstrClass.ATOMIC and not match.completed:
-                # Memory dependence through an in-flight atomic's result.
-                self.memdep_waiting.setdefault(match.uid, []).append(dyn)
-                return False
-            dyn.issued = True
-            dyn.issue_cycle = now
-            self.iq_used -= 1
-            if self.tracer is not None:
-                self._emit_instr(dyn, now, "issue")
-            dyn.fwd_store_seq = match.seq
-            dyn.fwd_store_uid = match.uid
-            if match.cls is InstrClass.ATOMIC:
-                dyn.value = match.new_mem_value
-            else:
-                dyn.value = match.static.operand
-            self.stats.counter("loads_forwarded").add()
-            self._schedule_complete(dyn, self.params.store_forward_cycles)
-            return True
-        dyn.issued = True
-        dyn.issue_cycle = now
-        self.iq_used -= 1
-        if self.tracer is not None:
-            self._emit_instr(dyn, now, "issue")
-        dyn.mem_requested = True
-        self.stats.counter("loads_to_memory").add()
-        self.controller.access(
-            dyn.line,
-            excl=False,
-            cb=lambda when, priv, lat, d=dyn: self._on_load_data(d, when),
-            pc=dyn.pc,
-        )
-        return True
-
-    def _find_store_match(self, load: DynInstr) -> DynInstr | None:
-        """Youngest older SB entry with a resolved matching address."""
-        addr = load.static.addr
-        seq = load.seq
-        for candidate in reversed(self.sb):
-            if candidate.seq >= seq:
-                continue
-            if candidate.addr_computed and candidate.static.addr == addr:
-                return candidate
-        return None
-
-    def _on_load_data(self, dyn: DynInstr, when: int) -> None:
-        self.note_activity()
-        if dyn.squashed:
-            return
-        dyn.value = self.image.read(dyn.addr)
-        dyn.value_read_from_memory = True
-        self._complete(dyn)
-
-    # ----- atomics ------------------------------------------------------
-
-    def _process_atomic_first_issue(self, dyn: DynInstr, now: int) -> bool:
-        """First trip through the issue stage for an atomic."""
-        if dyn.exec_eager:
-            self._issue_atomic_full(dyn, now)
-            return True
-        entry = dyn.aq_entry
-        assert entry is not None
-        if entry.only_calc_addr and not dyn.addr_pass_done:
-            self._addr_pass(dyn, now)
-            return True
-        # Plain lazy (or EW-mode RoW): park until oldest-memory + SB-drained.
-        dyn.addr_pass_done = True
-        self.lazy_waiting.append(dyn)
-        return False
-
-    def _addr_pass(self, dyn: DynInstr, now: int) -> None:
-        """Only-calculate-address pass (Sec. IV-B): compute and record the
-        address in the AQ so the ready window can match external requests;
-        optionally promote to eager on a forwarding match (Sec. IV-E)."""
-        entry = dyn.aq_entry
-        assert entry is not None
-        dyn.addr_pass_done = True
-        dyn.first_issue_cycle = now
-        entry.line = dyn.line
-        # The computed address also lands in the SB entry (like a regular
-        # store's address resolution): younger loads/atomics can now see the
-        # pending store_unlock, and anything that already jumped it replays.
-        dyn.addr_computed = True
-        self._check_violations(dyn, now)
-        self.stats.counter("atomic_addr_passes").add()
-        if self.row_mech is not None and self.params.row.forward_to_atomics:
-            match = self._find_store_match(dyn)
-            store_match = match is not None and match.cls is InstrClass.STORE
-            if self.row_mech.try_promote_for_forwarding(entry, store_match):
-                dyn.exec_eager = True
-                dyn.promoted_by_forwarding = True
-                self.stats.counter("atomics_promoted_eager").add()
-                self._issue_atomic_full(dyn, now)
-                return
-        self.lazy_waiting.append(dyn)
-
-    def _lazy_ready(self, dyn: DynInstr) -> bool:
-        """Oldest memory instruction (LQ head) with the SB drained down to
-        the atomic's own store_unlock."""
-        return (
-            bool(self.lq)
-            and self.lq[0] is dyn
-            and bool(self.sb)
-            and self.sb[0] is dyn
-        )
-
-    def _issue_atomic_full(self, dyn: DynInstr, now: int) -> None:
-        entry = dyn.aq_entry
-        assert entry is not None
-        dyn.issued = True
-        dyn.issue_cycle = now
-        if dyn.first_issue_cycle == _UNSET:
-            dyn.first_issue_cycle = now
-        self.iq_used -= 1
-        entry.line = dyn.line
-        entry.only_calc_addr = False
-        entry.request_issued_stamp = stamp(now, self.params.row.timestamp_bits)
-        dyn.addr_computed = True
-        self.stats.counter("atomics_issued").add()
-        if self.tracer is not None:
-            self._emit_instr(dyn, now, "issue")
-        if dyn.exec_eager:
-            self.stats.counter("atomics_issued_eager").add()
-            self.stats.histogram("older_unexecuted_at_eager_issue").add(
-                self._count_older_unexecuted(dyn)
-            )
-        else:
-            self.stats.counter("atomics_issued_lazy").add()
-            self.stats.histogram("younger_started_at_lazy_issue").add(
-                self._count_younger_started(dyn)
-            )
-        if self.storeset is not None:
-            self.storeset.store_resolved(dyn)
-            waiters = self.storeset_waiting.pop(dyn.uid, None)
-            if waiters:
-                for w in waiters:
-                    self._wake(w)
-        self._check_violations(dyn, now)
-        if self.mode is AtomicMode.FAR:
-            self._issue_atomic_far(dyn, now)
-            return
-        self.controller.access(
-            dyn.line,
-            excl=True,
-            cb=lambda when, priv, lat, d=dyn: self._on_atomic_data(d, when, priv),
-            pc=dyn.pc,
-        )
-
-    def _issue_atomic_far(self, dyn: DynInstr, now: int) -> None:
-        """Ship the RMW to the line's home bank (far-atomics extension)."""
-        assert self._far_pending is None, "far atomics are serialized per core"
-        self._far_pending = dyn
-        static = dyn.static
-        bank = self.engine.network.bank_of(dyn.line)
-        msg = Message(
-            MsgKind.AMO_REQ,
-            dyn.line,
-            src=self.core_id,
-            dst=bank,
-            requestor=self.core_id,
-            issued_cycle=now,
-            amo_op=static.atomic_op,
-            amo_operand=static.operand,
-            amo_expected=static.cas_expected,
-            amo_addr=static.addr,
-        )
-        self.stats.counter("atomics_far_issued").add()
-        self.engine.send(msg, to_directory=True)
-
-    def _on_amo_resp(self, msg) -> None:
-        self.note_activity()
-        dyn = self._far_pending
-        self._far_pending = None
-        if dyn is None or dyn.squashed:  # pragma: no cover - see issue rule
-            raise RuntimeError(
-                f"core {self.core_id}: AMO response without a pending far"
-                " atomic (a squashed far atomic would double-execute)"
-            )
-        now = self.engine.now
-        dyn.value = msg.amo_old
-        dyn.new_mem_value = msg.amo_new
-        dyn.lock_cycle = now  # the remote execution point (stats only)
-        self._complete(dyn)
-
-    def _count_older_unexecuted(self, dyn: DynInstr) -> int:
-        n = 0
-        for other in self.rob:
-            if other is dyn:
-                break
-            if not other.completed:
-                n += 1
-        return n
-
-    def _count_younger_started(self, dyn: DynInstr) -> int:
-        n = 0
-        seen = False
-        for other in self.rob:
-            if other is dyn:
-                seen = True
-                continue
-            if seen and other.issued:
-                n += 1
-        return n
-
-    def _on_atomic_data(self, dyn: DynInstr, when: int, from_private: bool) -> None:
-        self.note_activity()
-        if dyn.squashed:
-            return
-        if not self.controller.has_permission(dyn.line, excl=True):
-            # The line was stolen during the hit-latency window between the
-            # permission check and the lock taking effect; re-request it.
-            self.stats.counter("atomic_lock_retries").add()
-            self.controller.access(
-                dyn.line,
-                excl=True,
-                cb=lambda w, priv, lat, d=dyn: self._on_atomic_data(d, w, priv),
-                pc=dyn.pc,
-            )
-            return
-        entry = dyn.aq_entry
-        assert entry is not None
-        entry.locked = True
-        dyn.lock_cycle = when
-        line = dyn.line
-        self.locked_lines[line] = self.locked_lines.get(line, 0) + 1
-        self.controller.pin(line)
-        self.detector.on_data_arrival(entry, when, from_private)
-        self._try_atomic_compute(dyn)
-
-    def _try_atomic_compute(self, dyn: DynInstr) -> None:
-        """Perform the modify once the line is locked and the value source
-        (memory image or a forwarded older store) is unambiguous."""
-        if dyn.squashed or dyn.completed or dyn.compute_pending:
-            return
-        match = self._find_store_match(dyn)
-        fwd_value: int | None = None
-        if match is not None:
-            can_forward = (
-                self.params.row.forward_to_atomics
-                and match.cls is InstrClass.STORE
-                and match.issued
-            )
-            if can_forward:
-                fwd_value = match.static.operand
-                dyn.fwd_store_uid = match.uid
-                dyn.fwd_store_seq = match.seq
-                self.stats.counter("atomics_forwarded").add()
-            else:
-                # Wait for the older matching store/atomic to drain.
-                self.drain_waiting.setdefault(match.uid, []).append(dyn)
-                return
-        static = dyn.static
-        old = fwd_value if fwd_value is not None else self.image.read(dyn.addr)
-        assert static.atomic_op is not None
-        new, loaded = apply_atomic(
-            static.atomic_op, old, static.operand, static.cas_expected
-        )
-        dyn.value = loaded
-        dyn.new_mem_value = new
-        dyn.compute_pending = True
-        self._schedule_complete(dyn, self.params.alu_latency)
-
-    # ------------------------------------------------------------------
-    # Completion / wakeup
-    # ------------------------------------------------------------------
-
-    def _schedule_complete(self, dyn: DynInstr, delay: int) -> None:
-        self.engine.schedule_in(max(1, delay), lambda: self._complete(dyn))
-
-    def _complete(self, dyn: DynInstr) -> None:
-        if dyn.squashed or dyn.completed:
-            return
-        now = self.engine.now
-        dyn.completed = True
-        dyn.complete_cycle = now
-        self.note_activity()
-        for consumer in dyn.consumers:
-            if consumer.squashed:
-                continue
-            consumer.deps_left -= 1
-            if consumer.deps_left == 0:
-                consumer.ready_cycle = now
-                if not consumer.issued:
-                    heapq.heappush(self.ready, (consumer.seq, consumer.uid, consumer))
-        dyn.consumers.clear()
-        if dyn.cls is InstrClass.BRANCH:
-            self.branch_pred.update(dyn.pc, dyn.static.taken)
-            if dyn.mispredicted and self.fetch_blocked_on is dyn:
-                self.fetch_blocked_on = None
-                self.fetch_resume_cycle = max(
-                    self.fetch_resume_cycle, now + self.params.branch_misp_penalty
-                )
-                # Wake the core when the redirect penalty elapses so the
-                # idle-skip never strands a pending refetch.
-                self.engine.schedule(self.fetch_resume_cycle, self.note_activity)
-        waiters = self.memdep_waiting.pop(dyn.uid, None)
-        if waiters:
-            for w in waiters:
-                self._wake(w)
-
-    def _wake(self, dyn: DynInstr) -> None:
-        if not dyn.squashed and not dyn.issued:
-            heapq.heappush(self.ready, (dyn.seq, dyn.uid, dyn))
-            self.note_activity()
-
-    # ------------------------------------------------------------------
-    # Fences
-    # ------------------------------------------------------------------
-
-    def _check_fences(self, now: int) -> bool:
-        worked = False
-        while self.fences_active:
-            fence = self.fences_active[0]
-            if fence.squashed:
-                self.fences_active.pop(0)
-                continue
-            satisfied = not any(
-                entry.seq < fence.seq for entry in self.sb
-            ) and self._older_memory_done(fence)
-            if not satisfied:
-                break
-            fence.completed = True
-            fence.complete_cycle = now
-            self.fences_active.pop(0)
-            worked = True
-        if worked:
-            self._release_fence_waiters()
-        return worked
-
-    def _older_memory_done(self, fence: DynInstr) -> bool:
-        for other in self.rob:
-            if other is fence:
-                return True
-            if other.static.is_memory and not other.completed:
-                return False
-        return True
-
-    def _release_fence_waiters(self) -> None:
-        if not self.fence_waiting:
-            return
-        waiting = self.fence_waiting
-        self.fence_waiting = []
-        for dyn in waiting:
-            self._wake(dyn)
+        self.issue_bookkeeping(dyn, now)
+        self.schedule_complete(dyn, dyn.static.exec_latency)
 
     # ------------------------------------------------------------------
     # Commit
@@ -784,6 +375,7 @@ class Core:
     def _commit(self, now: int) -> bool:
         worked = False
         budget = self.params.commit_width
+        lsq = self.lsq
         while budget and self.rob:
             head = self.rob[0]
             if not head.completed:
@@ -792,275 +384,64 @@ class Core:
                 # Total order for x86 atomics: drain the SB before leaving
                 # the ROB — the atomic's own store_unlock must be at the
                 # SB head (everything older already wrote).
-                if not self.sb or self.sb[0] is not head:
+                if not lsq.sb or lsq.sb[0] is not head:
                     break
             head.committed = True
             head.commit_cycle = now
             self.rob.popleft()
             self.inflight_by_seq.pop(head.seq, None)
             if head.cls in (InstrClass.LOAD, InstrClass.ATOMIC):
-                if not self.lq or self.lq[0] is not head:
-                    raise ProtocolInvariantError(
-                        "lq-commit-alignment",
-                        f"core {self.core_id} committing seq {head.seq} but "
-                        f"it is not at the load-queue head",
-                        line=head.line,
-                        cycle=now,
-                    )
-                self.lq.popleft()
+                lsq.commit_load_head(head, now)
                 self.load_values[head.seq] = head.value
             self.stats.counter("committed").add()
             if self.tracer is not None:
-                self._emit_instr(head, now, "commit")
+                self.emit_instr(head, now, "commit")
             budget -= 1
             worked = True
         return worked
 
     # ------------------------------------------------------------------
-    # Store buffer drain
+    # Compatibility views (pre-split attribute names; tests and tools
+    # reach pipeline structures through these)
     # ------------------------------------------------------------------
 
-    def _drain_sb(self, now: int) -> bool:
-        if not self.sb:
-            return False
-        head = self.sb[0]
-        if not head.committed:
-            return False
-        line = head.line
-        if head.cls is InstrClass.ATOMIC:
-            if self.mode is not AtomicMode.FAR:
-                # The line is locked and owned: the write happens immediately.
-                self.image.write(head.addr, head.new_mem_value)
-            # (far atomics already wrote at the home bank)
-            self._unlock_atomic(head, now)
-            self.sb.popleft()
-            self._wake_drain_waiters(head)
-            return True
-        # Plain store: needs M permission to write.
-        if self.controller.has_permission(line, excl=True):
-            self.controller.mark_dirty(line)
-            self.image.write(head.addr, head.static.operand)
-            self.sb.popleft()
-            self.stats.counter("stores_drained").add()
-            self._wake_drain_waiters(head)
-            return True
-        if not head.write_requested:
-            head.write_requested = True
+    @property
+    def controller(self) -> "MemoryPort":
+        return self.port
 
-            def granted(*_args, d=head) -> None:
-                # Permission may be stolen again before the write happens;
-                # clearing the flag lets the drain loop re-request.
-                d.write_requested = False
-                self.note_activity()
+    @property
+    def lq(self) -> deque[DynInstr]:
+        return self.lsq.lq
 
-            self.controller.access(line, excl=True, cb=granted)
-            return True
-        return False
+    @property
+    def sb(self) -> deque[DynInstr]:
+        return self.lsq.sb
 
-    def _wake_drain_waiters(self, drained: DynInstr) -> None:
-        waiters = self.drain_waiting.pop(drained.uid, None)
-        if waiters:
-            for atomic in waiters:
-                self._try_atomic_compute(atomic)
+    @property
+    def aq(self) -> deque[AQEntry]:
+        return self.policy.aq
 
-    def _unlock_atomic(self, dyn: DynInstr, now: int) -> None:
-        entry = dyn.aq_entry
-        if entry is None or not self.aq or self.aq[0] is not entry:
-            raise ProtocolInvariantError(
-                "aq-sb-alignment",
-                f"core {self.core_id} unlocking seq {dyn.seq} but its AQ "
-                f"entry is not at the Atomic Queue head",
-                line=dyn.line,
-                cycle=now,
-            )
-        self.aq.popleft()
-        dyn.unlock_cycle = now
-        if entry.locked:  # far atomics never lock a line
-            entry.locked = False
-            self._unlock_line(dyn.line)
-        entry.contended_truth = oracle_contended(entry, self._truth_threshold)
-        if self.row_mech is not None:
-            self.row_mech.train(entry)
-        if self.mode is AtomicMode.FENCED and dyn in self.fenced_atomics:
-            self.fenced_atomics.remove(dyn)
-            self._release_fence_waiters()
-        # Stats (Fig. 5, Fig. 6).
-        self.stats.counter("atomics_committed").add()
-        if entry.contended_truth:
-            self.stats.counter("atomics_contended_truth").add()
-        if entry.contended:
-            self.stats.counter("atomics_contended_detected").add()
-        self.breakdown.record(
-            dyn.dispatch_cycle, dyn.issue_cycle, dyn.lock_cycle, now
-        )
-        if self.tracer is not None:
-            self.tracer.atomic_span(
-                now, self.core_id, dyn.pc, dyn.line,
-                dyn.dispatch_cycle, dyn.issue_cycle, dyn.lock_cycle,
-                dyn.exec_eager, dyn.predicted_contended,
-                entry.contended, entry.contended_truth,
-            )
+    @property
+    def locked_lines(self) -> dict[int, int]:
+        return self.lsq.locked_lines
 
-    def _unlock_line(self, line: int) -> None:
-        count = self.locked_lines.get(line, 0)
-        if count <= 1:
-            self.locked_lines.pop(line, None)
-            self.controller.unpin_and_release(line)
-        else:
-            self.locked_lines[line] = count - 1
+    @property
+    def lazy_waiting(self) -> list[DynInstr]:
+        return self.policy.lazy_waiting
 
-    # ------------------------------------------------------------------
-    # Memory-order violations and flushes
-    # ------------------------------------------------------------------
+    @property
+    def fences_active(self) -> list[DynInstr]:
+        return self.recovery.fences_active
 
-    def _check_violations(self, store_dyn: DynInstr, now: int) -> None:
-        """A store/atomic resolved its address: squash younger loads that
-        consumed (or will consume) a stale memory value (store-set miss)."""
-        addr = store_dyn.static.addr
-        victim = None
-        for load in self.lq:
-            if load.seq <= store_dyn.seq or load.squashed or load.committed:
-                continue
-            if load.static.addr != addr:
-                continue
-            if load.cls is InstrClass.ATOMIC:
-                # A younger atomic that already performed its read against
-                # memory jumped this older same-address write: replay it.
-                stale = load.compute_pending and (
-                    load.fwd_store_seq is None
-                    or load.fwd_store_seq < store_dyn.seq
-                )
-            elif not load.issued:
-                continue
-            else:
-                stale = (
-                    (load.mem_requested and load.fwd_store_uid is None)
-                    or (
-                        load.fwd_store_seq is not None
-                        and load.fwd_store_seq < store_dyn.seq
-                    )
-                )
-            if stale:
-                victim = load
-                break
-        if victim is None:
-            return
-        self.stats.counter("order_violations").add()
-        if self.storeset is not None:
-            self.storeset.train_violation(victim.pc, store_dyn.pc)
-        self._flush_from(victim, now, penalty=self.params.order_violation_flush_penalty)
+    @property
+    def fence_waiting(self) -> list[DynInstr]:
+        return self.recovery.fence_waiting
 
-    def _on_invalidation(self, line: int) -> None:
-        """LQ snoop on an external invalidation (TSO): squash completed but
-        uncommitted loads that read the invalidated line from memory."""
-        self.note_activity()
-        victim = None
-        for load in self.lq:
-            if load.cls is InstrClass.ATOMIC or load.squashed or load.committed:
-                continue
-            if load.static.line != line:
-                continue
-            if load.value_read_from_memory and load.fwd_store_uid is None:
-                victim = load
-                break
-        if victim is not None:
-            self.stats.counter("inv_squashes").add()
-            self._flush_from(
-                victim, self.engine.now,
-                penalty=self.params.order_violation_flush_penalty,
-            )
+    @property
+    def storeset(self) -> "StoreSetPredictor | None":
+        return self.lsq.storeset
 
-    def _flush_from(self, victim: DynInstr, now: int, penalty: int) -> None:
-        """Squash ``victim`` and everything younger; refetch from its seq."""
-        assert not victim.committed, "cannot flush a committed instruction"
-        self.stats.counter("flushes").add()
-        # Mark the flush range.
-        squashed: list[DynInstr] = []
-        while self.rob:
-            d = self.rob.pop()
-            squashed.append(d)
-            if d is victim:
-                break
-        assert squashed and squashed[-1] is victim
-        for d in squashed:
-            d.squashed = True
-            self.inflight_by_seq.pop(d.seq, None)
-            needs_iq = d.cls is not InstrClass.MFENCE
-            if needs_iq and not d.issued:
-                self.iq_used -= 1
-            if self.storeset is not None and d.cls in (
-                InstrClass.STORE,
-                InstrClass.ATOMIC,
-            ):
-                self.storeset.store_squashed(d)
-        for d in self.fetch_buffer:
-            d.squashed = True
-        self.fetch_buffer.clear()
-        # Clean structure tails (they are in program order).
-        while self.lq and self.lq[-1].squashed:
-            self.lq.pop()
-        while self.sb and self.sb[-1].squashed:
-            self.sb.pop()
-        while self.aq and self.aq[-1].dyn.squashed:
-            entry = self.aq.pop()
-            if entry.locked:
-                entry.locked = False
-                self._unlock_line(entry.dyn.line)
-        # Parking lots: drop squashed entries (blockers of parked items are
-        # always older, so parked items squash together with their blockers).
-        self.lazy_waiting = [d for d in self.lazy_waiting if not d.squashed]
-        self.fence_waiting = [d for d in self.fence_waiting if not d.squashed]
-        self.fences_active = [d for d in self.fences_active if not d.squashed]
-        self.fenced_atomics = [d for d in self.fenced_atomics if not d.squashed]
-        for table in (self.storeset_waiting, self.memdep_waiting, self.drain_waiting):
-            stale = [uid for uid, lst in table.items() if all(w.squashed for w in lst)]
-            for uid in stale:
-                del table[uid]
-        if self.fetch_blocked_on is not None and self.fetch_blocked_on.squashed:
-            self.fetch_blocked_on = None
-        # Refetch.
-        self.next_fetch = victim.seq
-        self.fetch_resume_cycle = max(self.fetch_resume_cycle, now + penalty)
-        self.engine.schedule(self.fetch_resume_cycle, self.note_activity)
-        self.note_activity()
-
-    # ------------------------------------------------------------------
-    # External request hooks (contention detection lives here)
-    # ------------------------------------------------------------------
-
-    def _mark_external(self, line: int) -> None:
-        for entry in self.aq:
-            if entry.line == line:
-                entry.external_seen = True
-                self.detector.on_external_request(entry, line)
-
-    def _on_external_blocked(self, line: int, msg) -> None:
-        self.note_activity()
-        self._mark_external(line)
-        self.stats.counter("externals_blocked_on_lock").add()
-        self.engine.schedule_in(
-            self.params.lock_revocation_timeout,
-            lambda: self._maybe_revoke(line, msg),
-        )
-
-    def _on_external_observed(self, line: int, msg) -> None:
-        self._mark_external(line)
-
-    def _maybe_revoke(self, line: int, msg) -> None:
-        stalled = self.controller.stalled_externals.get(line)
-        if not stalled or msg not in stalled:
-            return  # the message was already replayed; no deadlock
-        for entry in self.aq:
-            if (
-                entry.locked
-                and entry.line == line
-                and not entry.dyn.committed
-                and not entry.dyn.squashed
-            ):
-                self.stats.counter("lock_revocations").add()
-                self._flush_from(
-                    entry.dyn,
-                    self.engine.now,
-                    penalty=self.params.order_violation_flush_penalty,
-                )
-                return
+    @property
+    def row_mech(self) -> "RowMechanism | None":
+        policy = self.policy
+        return policy.row_mech if isinstance(policy, RowPolicy) else None

@@ -1,0 +1,152 @@
+"""Typed protocol boundaries between the core and its neighbours.
+
+The out-of-order core used to reach directly into
+:class:`repro.memory.controller.PrivateCacheController` (and the memory
+image), which welded ``core/`` to ``memory/`` internals.  This module pins
+the *only* surfaces the core may use:
+
+* :class:`MemoryPort` — what the private cache hierarchy offers the core:
+  permission-checked line access, dirty marking, pin/unpin for cache
+  locking, the far-atomic request channel, and the hook attributes the
+  core installs so contention detection and LQ snooping ride along with
+  protocol events.
+* :class:`MemoryImagePort` — the architectural value store (loads read,
+  drained stores/atomics write).
+* :class:`CoreServices` — what the core's subsystem units
+  (:mod:`repro.core.lsq`, :mod:`repro.core.atomic_policy`,
+  :mod:`repro.core.recovery`) may call back on their owning
+  :class:`~repro.core.pipeline.Core`.
+
+``repro lint`` enforces the boundary statically
+(:mod:`repro.sanitize.arch_lint`): ``core/`` must not import ``memory``,
+``sim``, ``analysis`` or ``obs`` implementations at runtime — everything
+it needs is typed here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections import deque
+
+    from repro.common.params import SystemParams
+    from repro.common.stats import StatGroup
+    from repro.core.dyninstr import DynInstr
+    from repro.obs.tracer import Tracer
+
+#: Completion callback of a :meth:`MemoryPort.access` request:
+#: ``(completion_cycle, from_private_cache, latency_cycles)``.
+AccessCallback = Callable[[int, bool, int], None]
+
+
+class AmoResponse(Protocol):
+    """The payload a far-atomic response delivers back to the core."""
+
+    amo_old: int
+    amo_new: int
+
+
+@runtime_checkable
+class MemoryPort(Protocol):
+    """The core's one window into the private cache hierarchy.
+
+    ``PrivateCacheController`` is the production implementation; tests can
+    substitute anything with this shape.  The four ``on_*``/``is_locked``
+    attributes are *hooks the core installs* (controller -> core
+    direction); everything else is core -> controller.
+    """
+
+    # Hooks the core installs at construction --------------------------
+    is_locked: Callable[[int], bool]
+    on_external_blocked: Callable[[int, object], None]
+    on_external_observed: Callable[[int, object], None]
+    on_invalidation: Callable[[int], None]
+    on_amo_resp: Callable[[AmoResponse], None]
+
+    #: Externally visible stall queues, keyed by line (read-only for the
+    #: core: lock revocation checks whether a stalled message is still
+    #: waiting before squashing the locking atomic).
+    stalled_externals: "dict[int, deque]"
+
+    # Core -> memory ----------------------------------------------------
+    def has_permission(self, line: int, excl: bool) -> bool: ...
+
+    def mark_dirty(self, line: int) -> None: ...
+
+    def access(
+        self,
+        line: int,
+        excl: bool,
+        cb: AccessCallback,
+        pc: int | None = None,
+        is_prefetch: bool = False,
+    ) -> None: ...
+
+    def pin(self, line: int) -> None: ...
+
+    def unpin_and_release(self, line: int) -> None: ...
+
+    def amo_request(
+        self,
+        line: int,
+        *,
+        op: object,
+        operand: int,
+        expected: int,
+        addr: int,
+        issued_cycle: int,
+    ) -> None:
+        """Ship a far atomic to the line's home bank (answered through
+        the ``on_amo_resp`` hook)."""
+        ...
+
+
+@runtime_checkable
+class MemoryImagePort(Protocol):
+    """Architectural value store: coherence-serialized reads and writes."""
+
+    def read(self, addr: int) -> int: ...
+
+    def write(self, addr: int, value: int) -> None: ...
+
+
+class CoreServices(Protocol):
+    """What the LSQ / atomic-policy / recovery units may use of the core.
+
+    Deliberately narrow: shared pipeline services plus the structures more
+    than one unit must observe (ROB order for age scans, fetch state for
+    refetch after a flush).  Units hold this instead of a concrete
+    ``Core`` so they are unit-testable against a small fake.
+    """
+
+    core_id: int
+    params: "SystemParams"
+    stats: "StatGroup"
+    breakdown: object
+    tracer: "Tracer | None"
+    mode: object
+    engine: object
+    port: "MemoryPort"
+    image: "MemoryImagePort"
+
+    # Shared pipeline structures (read/mutated under documented rules).
+    rob: "deque[DynInstr]"
+    fetch_buffer: "deque[DynInstr]"
+    inflight_by_seq: "dict[int, DynInstr]"
+    iq_used: int
+    next_fetch: int
+    fetch_resume_cycle: int
+    fetch_blocked_on: "DynInstr | None"
+
+    def note_activity(self) -> None: ...
+
+    def wake(self, dyn: "DynInstr") -> None: ...
+
+    def complete(self, dyn: "DynInstr") -> None: ...
+
+    def schedule_complete(self, dyn: "DynInstr", delay: int) -> None: ...
+
+    def emit_instr(self, dyn: "DynInstr", cycle: int, phase: str) -> None: ...
+
+    def issue_bookkeeping(self, dyn: "DynInstr", now: int) -> None: ...

@@ -1,0 +1,149 @@
+"""Flush and fence machinery: squash-and-refetch plus MFENCE tracking.
+
+Split out of the ``Core`` god-class (PR 4).  The :class:`RecoveryUnit`
+owns the two mechanisms that rewind or serialize the pipeline:
+
+* :meth:`flush_from` — squash a victim and everything younger, clean
+  every queue/parking-lot tail (delegating LQ/SB/StoreSet cleanup to the
+  :class:`~repro.core.lsq.LoadStoreUnit` and AQ/lazy cleanup to the
+  active :class:`~repro.core.atomic_policy.AtomicPolicyBase`), and
+  restart fetch after the penalty.  Callers: memory-order violations and
+  the TSO LQ snoop (LSQ), timeout-based lock revocation (policy).
+* MFENCE bookkeeping — :meth:`check_fences` retires satisfied fences in
+  program order and :meth:`release_fence_waiters` re-readies memory ops
+  that were parked behind a barrier.  The *policy* may impose an extra
+  barrier (fenced atomics); the core combines both via
+  :meth:`barrier_seq` + the policy's ``barrier_seq``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.dyninstr import DynInstr
+from repro.isa.instructions import InstrClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.atomic_policy import AtomicPolicyBase
+    from repro.core.lsq import LoadStoreUnit
+    from repro.core.ports import CoreServices
+
+
+class RecoveryUnit:
+    """One core's flush/fence state machine."""
+
+    def __init__(self, core: "CoreServices") -> None:
+        self.core = core
+        self.params = core.params
+        self.stats = core.stats
+
+        #: Dispatched-but-unretired MFENCEs, in program order.
+        self.fences_active: list[DynInstr] = []
+        #: Memory ops parked behind the oldest active barrier.
+        self.fence_waiting: list[DynInstr] = []
+
+        # Wired after construction (units are built in dependency order).
+        self.lsq: "LoadStoreUnit | None" = None
+        self.policy: "AtomicPolicyBase | None" = None
+
+    # ------------------------------------------------------------------
+    # Fences
+    # ------------------------------------------------------------------
+
+    def on_dispatch_fence(self, dyn: DynInstr, now: int) -> None:
+        self.fences_active.append(dyn)
+        dyn.issued = True
+        dyn.issue_cycle = now
+
+    def barrier_seq(self) -> int | None:
+        """Oldest active MFENCE (the policy contributes fenced atomics)."""
+        if self.fences_active:
+            return self.fences_active[0].seq
+        return None
+
+    def park_behind_barrier(self, dyn: DynInstr) -> None:
+        self.fence_waiting.append(dyn)
+
+    def check_fences(self, now: int) -> bool:
+        lsq = self.lsq
+        assert lsq is not None
+        worked = False
+        while self.fences_active:
+            fence = self.fences_active[0]
+            if fence.squashed:
+                self.fences_active.pop(0)
+                continue
+            satisfied = not any(
+                entry.seq < fence.seq for entry in lsq.sb
+            ) and self.older_memory_done(fence)
+            if not satisfied:
+                break
+            fence.completed = True
+            fence.complete_cycle = now
+            self.fences_active.pop(0)
+            worked = True
+        if worked:
+            self.release_fence_waiters()
+        return worked
+
+    def older_memory_done(self, fence: DynInstr) -> bool:
+        for other in self.core.rob:
+            if other is fence:
+                return True
+            if other.static.is_memory and not other.completed:
+                return False
+        return True
+
+    def release_fence_waiters(self) -> None:
+        if not self.fence_waiting:
+            return
+        waiting = self.fence_waiting
+        self.fence_waiting = []
+        for dyn in waiting:
+            self.core.wake(dyn)
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+
+    def flush_from(self, victim: DynInstr, now: int, penalty: int) -> None:
+        """Squash ``victim`` and everything younger; refetch from its seq."""
+        assert not victim.committed, "cannot flush a committed instruction"
+        core = self.core
+        lsq = self.lsq
+        policy = self.policy
+        assert lsq is not None and policy is not None
+        self.stats.counter("flushes").add()
+        # Mark the flush range.
+        squashed: list[DynInstr] = []
+        while core.rob:
+            d = core.rob.pop()
+            squashed.append(d)
+            if d is victim:
+                break
+        assert squashed and squashed[-1] is victim
+        for d in squashed:
+            d.squashed = True
+            core.inflight_by_seq.pop(d.seq, None)
+            needs_iq = d.cls is not InstrClass.MFENCE
+            if needs_iq and not d.issued:
+                core.iq_used -= 1
+            lsq.note_squashed(d)
+        for d in core.fetch_buffer:
+            d.squashed = True
+        core.fetch_buffer.clear()
+        # Clean structure tails (they are in program order).
+        lsq.drop_squashed_tails()
+        policy.drop_squashed()
+        # Parking lots: drop squashed entries (blockers of parked items are
+        # always older, so parked items squash together with their blockers).
+        self.fence_waiting = [d for d in self.fence_waiting if not d.squashed]
+        self.fences_active = [d for d in self.fences_active if not d.squashed]
+        lsq.prune_squashed_waiters()
+        if core.fetch_blocked_on is not None and core.fetch_blocked_on.squashed:
+            core.fetch_blocked_on = None
+        # Refetch.
+        core.next_fetch = victim.seq
+        core.fetch_resume_cycle = max(core.fetch_resume_cycle, now + penalty)
+        core.engine.schedule(core.fetch_resume_cycle, core.note_activity)
+        core.note_activity()

@@ -178,6 +178,38 @@ class PrivateCacheController:
         self.stats.counter(f"requests_{kind.value}").add()
         self.engine.send(msg, to_directory=True)
 
+    def amo_request(
+        self,
+        line: int,
+        *,
+        op,
+        operand: int,
+        expected: int | None,
+        addr: int,
+        issued_cycle: int,
+    ) -> None:
+        """Ship a far atomic to the line's home bank (Sec. "near vs far").
+
+        The RMW executes at the directory/L3 bank; the answer comes back as
+        an AMO_RESP and is delivered through the ``on_amo_resp`` hook.  The
+        message is built here so the core never touches
+        :mod:`repro.memory.messages` directly.
+        """
+        bank = self.engine.network.bank_of(line)
+        msg = Message(
+            MsgKind.AMO_REQ,
+            line,
+            src=self.core_id,
+            dst=bank,
+            requestor=self.core_id,
+            issued_cycle=issued_cycle,
+            amo_op=op,
+            amo_operand=operand,
+            amo_expected=expected,
+            amo_addr=addr,
+        )
+        self.engine.send(msg, to_directory=True)
+
     # ------------------------------------------------------------------
     # Message handling (network-side)
     # ------------------------------------------------------------------

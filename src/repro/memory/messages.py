@@ -44,9 +44,10 @@ EXTERNAL_KINDS = frozenset({MsgKind.INV, MsgKind.FWD_GETS, MsgKind.FWD_GETX})
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """One coherence message in flight.
+    """One coherence message in flight (``slots=True``: messages are the
+    highest-volume allocation in the memory system — several per miss).
 
     src/dst            -- network node ids (cores are 0..N-1; directory bank
                           b lives at node b: tiled CMP, bank co-located).

@@ -1,0 +1,128 @@
+"""Architecture lint: enforce the layer import contract statically.
+
+The PR-4 core split pinned the dependency direction
+
+    isa -> workloads -> core{lsq, atomic_policy, recovery} -> memory
+        -> sim -> analysis / obs
+
+with the core reaching the memory side only through the typed protocols
+in :mod:`repro.core.ports`.  This rule family keeps that boundary from
+regressing:
+
+* ``core/*`` must not import ``repro.memory``, ``repro.sim``,
+  ``repro.analysis`` or ``repro.obs`` at runtime.  Imports inside an
+  ``if TYPE_CHECKING:`` block are fine — annotations are erased; it is
+  the runtime coupling that welds layers together.
+* ``memory/*`` must not import ``repro.core`` at all (the controller
+  talks *up* only through the hook attributes the core installs).
+
+Like the sibling rule families this works purely on the AST: nothing is
+imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.sanitize.lint import LintFinding, iter_py_files, parse_file, rel
+
+RULE = "arch-import"
+
+#: layer (top-level package directory) -> forbidden runtime import prefixes.
+LAYER_CONTRACT: dict[str, tuple[str, ...]] = {
+    "core": ("repro.memory", "repro.sim", "repro.analysis", "repro.obs"),
+    "memory": ("repro.core",),
+}
+
+#: Layers where even TYPE_CHECKING imports of the forbidden prefixes are
+#: rejected (the memory side must not know core types exist).
+NO_TYPING_ESCAPE = ("memory",)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _imported_modules(node: ast.stmt) -> list[str]:
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        return [node.module]
+    return []
+
+
+def _walk(body: list[ast.stmt], type_checking: bool):
+    """Yield ``(stmt, in_type_checking_block)`` over every statement."""
+    for node in body:
+        yield node, type_checking
+        if isinstance(node, ast.If):
+            guarded = type_checking or _is_type_checking_test(node.test)
+            yield from _walk(node.body, guarded)
+            yield from _walk(node.orelse, type_checking)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield from _walk(node.body, type_checking)
+        elif isinstance(node, (ast.For, ast.While, ast.With)):
+            yield from _walk(node.body, type_checking)
+            if isinstance(node, (ast.For, ast.While)):
+                yield from _walk(node.orelse, type_checking)
+        elif isinstance(node, ast.Try):
+            yield from _walk(node.body, type_checking)
+            for handler in node.handlers:
+                yield from _walk(handler.body, type_checking)
+            yield from _walk(node.orelse, type_checking)
+            yield from _walk(node.finalbody, type_checking)
+
+
+def check_file(path: Path, base: Path) -> list[LintFinding]:
+    relpath = rel(path, base)
+    layer = Path(relpath).parts[0] if Path(relpath).parts else ""
+    forbidden = LAYER_CONTRACT.get(layer)
+    if not forbidden:
+        return []
+    findings: list[LintFinding] = []
+    tree = parse_file(path)
+    for node, type_checking in _walk(tree.body, type_checking=False):
+        if type_checking and layer not in NO_TYPING_ESCAPE:
+            continue
+        for module in _imported_modules(node):
+            hit = next(
+                (
+                    prefix
+                    for prefix in forbidden
+                    if module == prefix or module.startswith(prefix + ".")
+                ),
+                None,
+            )
+            if hit is None:
+                continue
+            hint = (
+                "use the repro.core.ports protocols"
+                if layer == "core"
+                else "the memory side must not depend on core types"
+            )
+            findings.append(
+                LintFinding(
+                    path=relpath,
+                    line=node.lineno,
+                    rule=RULE,
+                    message=(
+                        f"{layer}/ must not import {module} "
+                        f"({'even under TYPE_CHECKING; ' if type_checking else ''}"
+                        f"{hint})"
+                    ),
+                )
+            )
+    return findings
+
+
+def run(base: Path) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for path in iter_py_files(base):
+        findings.extend(check_file(path, base))
+    return findings

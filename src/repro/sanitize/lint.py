@@ -15,6 +15,10 @@ Two rule families live in sibling modules:
 * :mod:`repro.sanitize.convention_lint` — repo-wide conventions: no
   wall-clock time, no unseeded randomness, int-only cycle arithmetic, and
   every ``receive()`` must reject unknown message kinds.
+* :mod:`repro.sanitize.arch_lint` — layer import contract: ``core/`` may
+  not import memory/sim/analysis/obs implementations at runtime (it goes
+  through :mod:`repro.core.ports`), and ``memory/`` may not import
+  ``repro.core`` at all.
 """
 
 from __future__ import annotations
@@ -76,10 +80,11 @@ def attribute_chain(node: ast.expr) -> list[str] | None:
 
 def run_lint(root: Path | str | None = None) -> list[LintFinding]:
     """Run every lint family over the tree rooted at ``root``."""
-    from repro.sanitize import convention_lint, protocol_lint
+    from repro.sanitize import arch_lint, convention_lint, protocol_lint
 
     base = Path(root) if root is not None else package_root()
     findings: list[LintFinding] = []
     findings.extend(protocol_lint.run(base))
     findings.extend(convention_lint.run(base))
+    findings.extend(arch_lint.run(base))
     return sorted(findings)

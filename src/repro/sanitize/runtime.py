@@ -208,20 +208,26 @@ class SanitizerHarness:
         image.write = write  # type: ignore[method-assign]
 
     def _wrap_core(self, core: "Core") -> None:
+        """Wrap the hot paths on the core's subsystem units.
+
+        The LSQ owns the SB drain; the atomic policy owns compute/unlock.
+        All internal call sites reach these through instance-attribute
+        lookups, so instance-level wrapping intercepts every call.
+        """
         cfg = self.config
         if cfg.sb_fifo:
-            orig_drain = core._drain_sb
+            orig_drain = core.lsq.drain_sb
 
             def drain_sb(now: int, _orig=orig_drain, _core=core) -> bool:
                 if len(_core.sb) > 1:
                     self.check_sb_fifo(_core)
                 return _orig(now)
 
-            core._drain_sb = drain_sb  # type: ignore[method-assign]
+            core.lsq.drain_sb = drain_sb  # type: ignore[method-assign]
 
         if (cfg.rmw_atomicity or cfg.data_value) and core.mode is not AtomicMode.FAR:
-            orig_compute = core._try_atomic_compute
-            orig_unlock = core._unlock_atomic
+            orig_compute = core.policy.try_compute
+            orig_unlock = core.policy.unlock
 
             def try_compute(dyn, _orig=orig_compute, _core=core) -> None:
                 was_pending = dyn.compute_pending
@@ -247,8 +253,8 @@ class SanitizerHarness:
                     )
                 _orig(dyn, now)
 
-            core._try_atomic_compute = try_compute  # type: ignore[method-assign]
-            core._unlock_atomic = unlock  # type: ignore[method-assign]
+            core.policy.try_compute = try_compute  # type: ignore[method-assign]
+            core.policy.unlock = unlock  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Checkers (callable directly; the wrappers above route into these)

@@ -145,7 +145,19 @@ class TestAblationStructure:
             "predictor_policy",
             "aq_depth",
             "sb_depth",
+            "oracle_schedule",
         }
+
+    def test_oracle_schedule_structure(self):
+        from repro.analysis.ablations import oracle_schedule_ablation
+
+        fig = oracle_schedule_ablation(SMOKE, workloads=("pc",))
+        assert fig.columns == ["workload", "lazy", "row", "oracle", "oracle_pcs"]
+        assert fig.rows[-1][0] == "GEOMEAN"
+        wl_row = fig.rows[0]
+        for value in wl_row[1:4]:
+            assert value > 0
+        assert wl_row[4] >= 0  # number of profiled contended PCs
 
     def test_sb_depth_structure(self):
         from repro.analysis.ablations import sb_depth_ablation

@@ -117,6 +117,45 @@ class TestSeededDefects:
         rules = {f.rule for f in run_lint(root)}
         assert "permission-mutation" in rules
 
+    def test_core_runtime_import_of_memory_flagged(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/lsq.py",
+            "from collections import deque",
+            "from collections import deque\n"
+            "from repro.memory.messages import Message",
+        )
+        findings = [f for f in run_lint(root) if f.rule == "arch-import"]
+        assert any(
+            "core/ must not import repro.memory.messages" in f.message
+            for f in findings
+        )
+
+    def test_core_type_checking_import_allowed(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/lsq.py",
+            "if TYPE_CHECKING:  # pragma: no cover - typing only\n",
+            "if TYPE_CHECKING:  # pragma: no cover - typing only\n"
+            "    from repro.memory.messages import Message\n",
+        )
+        assert not [f for f in run_lint(root) if f.rule == "arch-import"]
+
+    def test_memory_import_of_core_flagged_even_type_checking(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "from __future__ import annotations",
+            "from __future__ import annotations\n"
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.core.dyninstr import DynInstr\n",
+        )
+        findings = [f for f in run_lint(root) if f.rule == "arch-import"]
+        assert any(
+            "even under TYPE_CHECKING" in f.message for f in findings
+        )
+
     def test_cli_exit_one_on_findings(self, tmp_path, capsys):
         root = mutate(
             tmp_path,

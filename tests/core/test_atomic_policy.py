@@ -1,0 +1,125 @@
+"""Unit tests for the pluggable atomic-execution policy layer (PR 4).
+
+Covers the policy registry (``make_policy``), the per-policy eager/lazy
+decision, the ORACLE profile-guided mode, and the ``truth_by_pc`` observer
+state the two-pass oracle experiments read back.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.params import AtomicMode, SystemParams
+from repro.core.atomic_policy import (
+    EagerPolicy,
+    FarPolicy,
+    FencedPolicy,
+    LazyPolicy,
+    OraclePolicy,
+    RowPolicy,
+)
+from repro.isa.instructions import AtomicOp, Program, ThreadTrace, alu, atomic
+from repro.sim.multicore import MulticoreSimulator
+
+EXPECTED_POLICY = {
+    AtomicMode.EAGER: EagerPolicy,
+    AtomicMode.LAZY: LazyPolicy,
+    AtomicMode.ROW: RowPolicy,
+    AtomicMode.FENCED: FencedPolicy,
+    AtomicMode.FAR: FarPolicy,
+    AtomicMode.ORACLE: OraclePolicy,
+}
+
+
+def run_single_core(instrs, params):
+    prog = Program("policy-unit", [ThreadTrace(0, instrs)])
+    sim = MulticoreSimulator(params, prog)
+    sim.run()
+    return sim.cores[0]
+
+
+class TestPolicyRegistry:
+    @pytest.mark.parametrize("mode", list(AtomicMode))
+    def test_make_policy_covers_every_mode(self, mode):
+        params = SystemParams.quick(num_cores=1, atomic_mode=mode)
+        prog = Program("noop", [ThreadTrace(0, [alu(0, pc=4)])])
+        sim = MulticoreSimulator(params, prog)
+        assert type(sim.cores[0].policy) is EXPECTED_POLICY[mode]
+
+    def test_from_name_resolves_and_rejects(self):
+        assert AtomicMode.from_name("row") is AtomicMode.ROW
+        assert AtomicMode.from_name(AtomicMode.FAR) is AtomicMode.FAR
+        with pytest.raises(ValueError, match="oracle"):
+            AtomicMode.from_name("bogus")
+
+
+class TestEagerLazyDecision:
+    def _one_atomic(self, mode):
+        params = SystemParams.quick(num_cores=1, atomic_mode=mode)
+        # An older ALU chain keeps the atomic non-head for a while, so a
+        # lazy decision is observable (it must wait; eager must not).
+        instrs = [
+            alu(i, pc=4, deps=(i - 1,) if i else (), latency=3)
+            for i in range(8)
+        ]
+        instrs.append(atomic(8, pc=0x40, addr=640, op=AtomicOp.FAA))
+        return run_single_core(instrs, params)
+
+    def test_eager_counts_eager(self):
+        core = self._one_atomic(AtomicMode.EAGER)
+        assert core.stats.counter("atomics_issued_eager").value == 1
+        assert core.stats.counter("atomics_issued_lazy").value == 0
+
+    def test_lazy_counts_lazy(self):
+        core = self._one_atomic(AtomicMode.LAZY)
+        assert core.stats.counter("atomics_issued_lazy").value == 1
+        assert core.stats.counter("atomics_issued_eager").value == 0
+
+    def test_fenced_counts_lazy_and_fences(self):
+        core = self._one_atomic(AtomicMode.FENCED)
+        assert core.stats.counter("atomics_issued_lazy").value == 1
+
+
+class TestOraclePolicy:
+    def _params(self, pcs):
+        params = SystemParams.quick(num_cores=1, atomic_mode=AtomicMode.ORACLE)
+        return replace(params, row=replace(params.row, oracle_contended_pcs=pcs))
+
+    def _two_site_program(self):
+        return [
+            atomic(0, pc=0x40, addr=640, op=AtomicOp.FAA),
+            atomic(1, pc=0x80, addr=704, op=AtomicOp.FAA),
+        ]
+
+    def test_listed_pcs_go_lazy_others_eager(self):
+        core = run_single_core(self._two_site_program(), self._params((0x40,)))
+        assert core.stats.counter("atomics_issued_lazy").value == 1
+        assert core.stats.counter("atomics_issued_eager").value == 1
+
+    def test_empty_set_degenerates_to_all_eager(self):
+        core = run_single_core(self._two_site_program(), self._params(()))
+        assert core.stats.counter("atomics_issued_eager").value == 2
+        assert core.stats.counter("atomics_issued_lazy").value == 0
+
+
+class TestTruthByPc:
+    def test_contended_pc_recorded_true(self):
+        """Two cores hammering one line: the ground-truth observer marks
+        the atomic PC contended on at least one core."""
+        params = SystemParams.quick(atomic_mode=AtomicMode.EAGER)
+        mk = lambda: [
+            atomic(i, pc=0x40, addr=640, op=AtomicOp.FAA) for i in range(12)
+        ]
+        prog = Program("truth", [ThreadTrace(0, mk()), ThreadTrace(1, mk())])
+        sim = MulticoreSimulator(params, prog)
+        sim.run()
+        assert any(
+            core.policy.truth_by_pc.get(0x40) for core in sim.cores
+        )
+
+    def test_uncontended_pc_recorded_false(self):
+        params = SystemParams.quick(num_cores=1, atomic_mode=AtomicMode.EAGER)
+        core = run_single_core(
+            [atomic(0, pc=0x40, addr=640, op=AtomicOp.FAA)], params
+        )
+        assert core.policy.truth_by_pc == {0x40: False}

@@ -7,28 +7,28 @@ every event — the closest thing to hardware assertions the model has.
 import pytest
 
 from repro.common.params import AtomicMode, SystemParams
-from repro.core import pipeline as pl
+from repro.core import atomic_policy as ap
 from repro.sim.multicore import MulticoreSimulator
 from repro.workloads.synthetic import build_program
 
 
 @pytest.fixture
 def checked_unlock(monkeypatch):
-    """Wrap _unlock_atomic with AQ/SB alignment and lock-count checks."""
+    """Wrap the policy's unlock with AQ/SB alignment and lock-count checks."""
     violations: list[str] = []
-    original = pl.Core._unlock_atomic
+    original = ap.AtomicPolicyBase.unlock
 
     def wrapped(self, dyn, now):
         entry = dyn.aq_entry
         if not self.aq or self.aq[0] is not entry:
             violations.append(f"AQ head misaligned at cycle {now}")
-        if any(count < 0 for count in self.locked_lines.values()):
+        if any(count < 0 for count in self.lsq.locked_lines.values()):
             violations.append(f"negative lock count at cycle {now}")
         if not dyn.committed:
             violations.append(f"unlock before commit at cycle {now}")
         original(self, dyn, now)
 
-    monkeypatch.setattr(pl.Core, "_unlock_atomic", wrapped)
+    monkeypatch.setattr(ap.AtomicPolicyBase, "unlock", wrapped)
     return violations
 
 
@@ -36,19 +36,19 @@ def checked_unlock(monkeypatch):
 def checked_lock(monkeypatch):
     """Every lock must hold exclusive permission at lock time."""
     violations: list[str] = []
-    original = pl.Core._on_atomic_data
+    original = ap.AtomicPolicyBase.on_atomic_data
 
     def wrapped(self, dyn, when, from_private):
         original(self, dyn, when, from_private)
         entry = dyn.aq_entry
         if entry is not None and entry.locked and not dyn.squashed:
-            if not self.controller.has_permission(dyn.line, excl=True):
+            if not self.core.port.has_permission(dyn.line, excl=True):
                 violations.append(
-                    f"core {self.core_id} locked line {dyn.line:#x} "
+                    f"core {self.core.core_id} locked line {dyn.line:#x} "
                     f"without ownership at cycle {when}"
                 )
 
-    monkeypatch.setattr(pl.Core, "_on_atomic_data", wrapped)
+    monkeypatch.setattr(ap.AtomicPolicyBase, "on_atomic_data", wrapped)
     return violations
 
 
