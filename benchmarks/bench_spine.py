@@ -1,0 +1,136 @@
+"""Spine benchmark: quiescence-aware scheduling vs. the always-step loop.
+
+Times the same two workloads through both main loops
+(``simulate(..., quiesce=True/False)``) and records simulated-cycles/sec
+plus the steps-skipped ratio in ``BENCH_spine.json`` at the repo root:
+
+* **idle-heavy** — ``atomic_counter``: every core spins on one hot line,
+  so at any instant most cores are stalled waiting for a cache response
+  and the runnable set is small.  This is the workload the sleep/wake
+  scheduler exists for.
+* **contended** — the paper's producer/consumer profile at full length:
+  cores are busy most cycles, so the win comes from the hot-loop
+  micro-optimisations (bound-method caches, memoized mesh routing, lazy
+  TAGE tables) rather than from skipped steps.
+
+The pytest entry point runs at quick scale and asserts the load-bearing
+property — both loops produce bit-identical :class:`RunMetrics` — plus a
+floor on the skipped-step fraction.  Wall-clock ratios are printed and
+recorded but not asserted; timing assertions flake under CI load.  The
+standalone entry point (``python benchmarks/bench_spine.py``) runs at
+paper scale (32 cores) and rewrites ``BENCH_spine.json``, preserving the
+hand-measured ``pre_change_baseline`` section (timings of the spine as of
+the commit before this benchmark existed, which in-tree runs can no
+longer reproduce).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis.runner import RunMetrics
+from repro.common.params import AtomicMode, SystemParams
+from repro.sim.multicore import simulate
+from repro.workloads.litmus import atomic_counter
+from repro.workloads.synthetic import build_program
+
+REPS = 3
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_spine.json"
+
+
+def _workloads(params: SystemParams, instructions: int, increments: int):
+    return {
+        "idle_heavy": (
+            params.with_atomic_mode(AtomicMode.LAZY),
+            atomic_counter(params.num_cores, increments),
+        ),
+        "contended": (
+            params.with_atomic_mode(AtomicMode.EAGER),
+            build_program("pc", params.num_cores, instructions, seed=0),
+        ),
+    }
+
+
+def _time_mode(params, program, quiesce: bool):
+    """Best-of-REPS wall clock for one loop flavour (program prebuilt —
+    construction cost must not pollute the spine measurement)."""
+    best = None
+    result = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = simulate(params, program, quiesce=quiesce)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run_bench(params: SystemParams, instructions: int, increments: int) -> dict:
+    report: dict = {}
+    for name, (wl_params, program) in _workloads(
+        params, instructions, increments
+    ).items():
+        t_quiesce, res_q = _time_mode(wl_params, program, quiesce=True)
+        t_legacy, res_l = _time_mode(wl_params, program, quiesce=False)
+        identical = (
+            RunMetrics.from_result(res_q).to_json()
+            == RunMetrics.from_result(res_l).to_json()
+        )
+        report[name] = {
+            "cycles": res_q.cycles,
+            "quiesce_seconds": round(t_quiesce, 4),
+            "legacy_seconds": round(t_legacy, 4),
+            "speedup_vs_legacy": round(t_legacy / t_quiesce, 3),
+            "cycles_per_second_quiesce": round(res_q.cycles / t_quiesce),
+            "cycles_per_second_legacy": round(res_l.cycles / t_legacy),
+            "skipped_fraction": round(res_q.spine["skipped_fraction"], 4),
+            "wakes": res_q.spine["wakes"],
+            "metrics_identical": identical,
+        }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (quick scale)
+# ---------------------------------------------------------------------------
+
+
+def test_spine_quick_scale():
+    report = run_bench(SystemParams.quick(), instructions=1500, increments=60)
+    print()
+    print(json.dumps(report, indent=2))
+    for name, row in report.items():
+        assert row["metrics_identical"], (
+            f"{name}: quiesce=True and quiesce=False produced different"
+            f" RunMetrics — the scheduler is no longer timing-transparent"
+        )
+    # The idle-heavy workload must actually exercise the sleep path.
+    assert report["idle_heavy"]["skipped_fraction"] > 0.3
+
+
+# ---------------------------------------------------------------------------
+# standalone entry point (paper scale, rewrites BENCH_spine.json)
+# ---------------------------------------------------------------------------
+
+
+def main() -> None:
+    previous: dict = {}
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+    report = run_bench(SystemParams.paper(), instructions=2000, increments=150)
+    payload = {
+        "benchmark": "quiescence-aware simulation spine",
+        "scale": "paper (32 cores)",
+        "workloads": report,
+    }
+    if "pre_change_baseline" in previous:
+        payload["pre_change_baseline"] = previous["pre_change_baseline"]
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

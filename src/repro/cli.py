@@ -8,8 +8,9 @@ microbench run the Sec. II-A fence microbenchmark
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
 validate   check the paper's qualitative claims end to end
+profile    cProfile one simulation run (top-N by cumulative time)
 lint       static protocol/convention/architecture lint over the sources
-check      lint + golden-stats bit-identity + tier-1 tests (the CI gate)
+check      lint + golden stats + perf smoke + tier-1 tests (the CI gate)
 
 ``figure``, ``sweep`` and ``validate`` accept ``--jobs/-j N`` to fan the
 (workload × config × seed) job grid across worker processes, and
@@ -195,8 +196,39 @@ def _check_golden() -> int:
     return 0
 
 
+def _check_perf_smoke() -> int:
+    """Perf smoke gate: the quiescence-aware spine must skip most
+    core-steps on a canned idle-heavy workload.
+
+    Counter-based on purpose — the gate reads the scheduler's own
+    step/skip counters (``RunResult.spine``), never wall-clock, so CI
+    load cannot flake it.  The floor is far below the typical measured
+    ratio (~0.85+) to leave headroom for workload-generator drift.
+    """
+    from repro.workloads.litmus import atomic_counter
+
+    floor = 0.60
+    params = SystemParams.quick().with_atomic_mode(AtomicMode.LAZY)
+    program = atomic_counter(params.num_cores, 40)
+    result = simulate(params, program)
+    spine = result.spine
+    frac = spine["skipped_fraction"]
+    print(
+        f"quiescence spine skipped {spine['skipped_steps']:,}/"
+        f"{spine['possible_steps']:,} core-steps "
+        f"({100 * frac:.1f}%; floor {100 * floor:.0f}%)"
+    )
+    if frac < floor:
+        print(
+            "perf smoke gate failed: the quiescence scheduler skipped too"
+            " few core-steps on an idle-heavy workload"
+        )
+        return 1
+    return 0
+
+
 def cmd_check(args) -> int:
-    """The CI gate: lint, golden-stats bit-identity, tier-1 test suite."""
+    """The CI gate: lint, golden bit-identity, perf smoke, tier-1 tests."""
     import subprocess
 
     print("== repro lint ==")
@@ -205,12 +237,14 @@ def cmd_check(args) -> int:
         return lint_rc
     print("== golden stats ==")
     golden_rc = _check_golden()
+    print("== perf smoke ==")
+    perf_rc = _check_perf_smoke()
     print("== tier-1 tests ==")
     cmd = [sys.executable, "-m", "pytest", "-x", "-q"] + (
         args.pytest_args or ["tests"]
     )
     test_rc = subprocess.call(cmd)
-    return lint_rc or golden_rc or test_rc
+    return lint_rc or golden_rc or perf_rc or test_rc
 
 
 def cmd_figure(args) -> int:
@@ -412,6 +446,39 @@ def _cmd_trace_events(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """cProfile one simulation run so perf work is profile-guided.
+
+    Prints the top-N functions by cumulative time and (with ``--out``)
+    dumps the raw pstats data for offline digging
+    (``python -m pstats profile.pstats``).
+    """
+    import cProfile
+    import pstats
+
+    params = _params(args).with_atomic_mode(AtomicMode.from_name(args.mode))
+    program = build_program(
+        args.workload, min(args.threads, params.num_cores), args.instructions,
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = simulate(params, program, quiesce=not args.no_quiesce)
+    profiler.disable()
+    spine = result.spine
+    print(
+        f"{program.name}: {result.cycles:,} cycles, ipc={result.ipc:.2f}, "
+        f"skipped {100 * spine['skipped_fraction']:.1f}% of core-steps "
+        f"({spine['skipped_steps']:,}/{spine['possible_steps']:,})"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote {args.out} (inspect with: python -m pstats {args.out})")
+    return 0
+
+
 def cmd_validate(args) -> int:
     from repro.analysis.validate import VALIDATORS, run_validation
 
@@ -546,6 +613,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="cProfile one simulation run (top-N by cumulative time)",
+    )
+    p_prof.add_argument("workload", choices=sorted(WORKLOADS))
+    p_prof.add_argument(
+        "--mode", default="eager", choices=[m.value for m in AtomicMode]
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=25, help="profile rows to print"
+    )
+    p_prof.add_argument(
+        "--out", default=None,
+        help="also dump raw pstats data (e.g. profile.pstats)",
+    )
+    p_prof.add_argument(
+        "--no-quiesce", action="store_true",
+        help="profile the legacy always-step loop instead",
+    )
+    _add_common(p_prof)
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_sweep = sub.add_parser("sweep", help="sweep one workload knob")
     p_sweep.add_argument("workload", choices=sorted(WORKLOADS))

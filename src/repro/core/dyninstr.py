@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.isa.instructions import Instruction, InstrClass
+from repro.isa.instructions import Instruction
 
 _UNSET = -1
 
@@ -23,6 +23,9 @@ class DynInstr:
     __slots__ = (
         "static",
         "uid",
+        "seq",
+        "cls",
+        "pc",
         "deps_left",
         "consumers",
         "fetch_cycle",
@@ -60,6 +63,13 @@ class DynInstr:
     def __init__(self, static: Instruction, uid: int, fetch_cycle: int) -> None:
         self.static = static
         self.uid = uid  # globally unique dynamic id (survives replays)
+        # Immutable passthroughs of the static instruction, materialized as
+        # plain slots: ``seq``/``cls``/``pc`` are the hottest reads in the
+        # pipeline (age comparisons, issue dispatching) and a delegating
+        # property costs a descriptor call per read.
+        self.seq = static.seq
+        self.cls = static.cls
+        self.pc = static.pc
         self.deps_left = 0
         self.consumers: list[DynInstr] = []
         self.fetch_cycle = fetch_cycle
@@ -95,18 +105,6 @@ class DynInstr:
         self.first_issue_cycle = _UNSET
 
     # Convenience passthroughs -----------------------------------------
-
-    @property
-    def seq(self) -> int:
-        return self.static.seq
-
-    @property
-    def cls(self) -> InstrClass:
-        return self.static.cls
-
-    @property
-    def pc(self) -> int:
-        return self.static.pc
 
     @property
     def line(self) -> int:

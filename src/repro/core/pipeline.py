@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.common.params import SystemParams
 from repro.common.stats import AtomicLatencyBreakdown, StatGroup
@@ -100,6 +100,23 @@ class Core:
         self.done = False
         self.finish_cycle: int | None = None
         self._event_activity = True
+
+        # Quiescence / sleep-wake state -----------------------------------
+        # ``awake`` mirrors membership in the harness's runnable set: the
+        # harness clears it when a step does no work and every wake path
+        # funnels through note_activity(), which re-raises it.  A core whose
+        # flag is down is guaranteed (and sanitizer-checked) to be woken by
+        # any message its controller receives — the no-missed-wake invariant
+        # (docs/performance.md).
+        self.awake = True
+        # Installed by the multicore harness: called once per sleep->awake
+        # transition / per scheduled timed wake.  Standalone cores (unit
+        # tests) fall back to plain engine events for timed wakes.
+        self._wake_sink: "Callable[[Core], None] | None" = None
+        self._wake_scheduler: "Callable[[int, Core], None] | None" = None
+        # Min-heap of scheduled future self-wake cycles (branch-redirect and
+        # flush-refetch resume points); peeked by next_wake_cycle().
+        self._pending_wakes: list[int] = []
         # Architecturally committed load/atomic register results, keyed by
         # static seq (replays overwrite).  Litmus tests read these.
         self.load_values: dict[int, int] = {}
@@ -119,6 +136,17 @@ class Core:
         controller.on_external_observed = self.policy.on_external_observed
         controller.on_invalidation = self.lsq.on_invalidation
         controller.on_amo_resp = self.policy.on_amo_resp
+        # Unconditional wake on *any* delivered message: even messages whose
+        # specific hook does not call note_activity (e.g. PUTM_ACK, FWD
+        # downgrades) may change what the core can do next cycle, so the
+        # controller raises the wake flag before dispatching.  This is what
+        # makes the no-missed-wake invariant hold by construction.
+        controller.on_message = self.note_activity
+        # Lazily-cached bound method for the hot step() loop.  Built on
+        # first use, NOT here: the sanitizer wraps ``lsq.drain_sb`` as an
+        # instance attribute after construction, and the cache must capture
+        # the wrapped version.
+        self._drain_sb: "Callable[[int], bool] | None" = None
 
     # ------------------------------------------------------------------
     # Shared services (the CoreServices surface used by the units)
@@ -126,6 +154,76 @@ class Core:
 
     def note_activity(self) -> None:
         self._event_activity = True
+        if not self.awake:
+            self.awake = True
+            sink = self._wake_sink
+            if sink is not None:
+                sink(self)
+
+    # ------------------------------------------------------------------
+    # Quiescence surface (sleep/wake scheduling; see docs/performance.md)
+    # ------------------------------------------------------------------
+
+    def schedule_wake(self, cycle: int) -> None:
+        """Arrange for the core to be re-examined at ``cycle``.
+
+        Used for resume points that are known in advance (branch-redirect
+        penalty, flush-refetch penalty) so a sleeping core wakes exactly on
+        time.  Under the multicore harness the wake rides a dedicated wake
+        heap that also bounds the idle fast-forward; standalone cores fall
+        back to a plain engine event.
+        """
+        heapq.heappush(self._pending_wakes, cycle)
+        scheduler = self._wake_scheduler
+        if scheduler is not None:
+            scheduler(cycle, self)
+        else:
+            self.engine.schedule(cycle, lambda: self.fire_due_wakes(cycle))
+
+    def fire_due_wakes(self, now: int) -> None:
+        """Retire scheduled wakes that are due and mark the core active."""
+        pending = self._pending_wakes
+        if not pending or pending[0] > now:
+            return
+        while pending and pending[0] <= now:
+            heapq.heappop(pending)
+        self.note_activity()
+
+    def next_wake_cycle(self) -> int | None:
+        """Earliest scheduled future self-wake, if any."""
+        return self._pending_wakes[0] if self._pending_wakes else None
+
+    def quiescent(self) -> bool:
+        """True when the core is not in the runnable set (it reported no
+        possible work and has not been woken since)."""
+        return self.done or not self.awake
+
+    def quiescence_reason(self) -> str:
+        """Best-effort diagnostic of *why* the core has no work.
+
+        Purely observational (scheduling truth is the ``awake`` flag); used
+        to enrich deadlock reports and traces.
+        """
+        if self.done:
+            return "done"
+        if self.awake:
+            return "runnable"
+        bits: list[str] = []
+        if self.next_fetch >= len(self.trace):
+            bits.append("fetch-drained")
+        elif self.fetch_blocked_on is not None:
+            bits.append("fetch-blocked-on-branch")
+        elif self.engine.now < self.fetch_resume_cycle:
+            bits.append("fetch-redirect-pending")
+        if self.rob:
+            bits.append(f"rob-waiting({len(self.rob)})")
+        if self.lsq.sb:
+            bits.append(f"sb-waiting({len(self.lsq.sb)})")
+        if self.policy.lazy_waiting:
+            bits.append("lazy-atomic-parked")
+        if self.recovery.fences_active or self.recovery.fence_waiting:
+            bits.append("fence-pending")
+        return ",".join(bits) if bits else "idle"
 
     def emit_instr(self, dyn: DynInstr, cycle: int, phase: str) -> None:
         """Record one instruction-lifecycle milestone (tracer is non-None)."""
@@ -170,7 +268,7 @@ class Core:
                 )
                 # Wake the core when the redirect penalty elapses so the
                 # idle-skip never strands a pending refetch.
-                self.engine.schedule(self.fetch_resume_cycle, self.note_activity)
+                self.schedule_wake(self.fetch_resume_cycle)
         self.lsq.wake_memdep_waiters(dyn)
 
     def wake(self, dyn: DynInstr) -> None:
@@ -186,10 +284,13 @@ class Core:
         """Advance one cycle; returns True if the core did any work."""
         if self.done:
             return False
+        drain = self._drain_sb
+        if drain is None:
+            drain = self._drain_sb = self.lsq.drain_sb
         worked = False
         if self._commit(now):
             worked = True
-        if self.lsq.drain_sb(now):
+        if drain(now):
             worked = True
         if self._issue(now):
             worked = True
@@ -255,6 +356,8 @@ class Core:
     # ------------------------------------------------------------------
 
     def _dispatch(self, now: int) -> bool:
+        if not self.fetch_buffer:
+            return False
         worked = False
         budget = self.params.issue_width
         p = self.params
@@ -324,15 +427,21 @@ class Core:
 
     def _issue(self, now: int) -> bool:
         worked = False
-        if self.recovery.fences_active and self.recovery.check_fences(now):
+        recovery = self.recovery
+        if recovery.fences_active and recovery.check_fences(now):
             worked = True
         budget = self.params.issue_width
 
-        # Lazy atomics whose turn arrived.
-        budget, pumped = self.policy.pump(now, budget)
-        if pumped:
-            worked = True
+        # Lazy atomics whose turn arrived (pump early-outs on an empty
+        # parking lot; the guard here saves the call entirely).
+        policy = self.policy
+        if policy.lazy_waiting:
+            budget, pumped = policy.pump(now, budget)
+            if pumped:
+                worked = True
 
+        if not self.ready:
+            return worked
         barrier = self._memory_barrier_seq()
         while budget and self.ready:
             _, _, dyn = heapq.heappop(self.ready)
@@ -373,6 +482,9 @@ class Core:
     # ------------------------------------------------------------------
 
     def _commit(self, now: int) -> bool:
+        rob = self.rob
+        if not rob or not rob[0].completed:
+            return False
         worked = False
         budget = self.params.commit_width
         lsq = self.lsq

@@ -58,6 +58,9 @@ class MemoryPort(Protocol):
     """
 
     # Hooks the core installs at construction --------------------------
+    #: Fired before any delivered message is dispatched; the core raises
+    #: its wake flag here (no-missed-wake invariant, docs/performance.md).
+    on_message: Callable[[], None]
     is_locked: Callable[[int], bool]
     on_external_blocked: Callable[[int, object], None]
     on_external_observed: Callable[[int, object], None]
@@ -140,6 +143,8 @@ class CoreServices(Protocol):
     fetch_blocked_on: "DynInstr | None"
 
     def note_activity(self) -> None: ...
+
+    def schedule_wake(self, cycle: int) -> None: ...
 
     def wake(self, dyn: "DynInstr") -> None: ...
 

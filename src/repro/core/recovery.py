@@ -145,5 +145,5 @@ class RecoveryUnit:
         # Refetch.
         core.next_fetch = victim.seq
         core.fetch_resume_cycle = max(core.fetch_resume_cycle, now + penalty)
-        core.engine.schedule(core.fetch_resume_cycle, core.note_activity)
+        core.schedule_wake(core.fetch_resume_cycle)
         core.note_activity()

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.frontend.branch.bimodal import BimodalPredictor
 
 
-@dataclass
+@dataclass(slots=True)
 class _TageEntry:
     tag: int = 0
     counter: int = 4  # 3-bit signed-ish counter in [0, 7]; taken if >= 4
@@ -30,20 +30,34 @@ class _TaggedTable:
         self.history_len = history_len
         self.tag_bits = tag_bits
         self.tag_mask = (1 << tag_bits) - 1
-        self.table = [_TageEntry() for _ in range(entries)]
+        # Lazily materialized entries: an untouched slot (None) reads as the
+        # default entry (tag 0, counter 4, useful 0), so lazy allocation is
+        # behaviour-identical to eager construction — cores instantiate one
+        # predictor each, and eagerly building every entry dominated system
+        # construction time.
+        self.table: list[_TageEntry | None] = [None] * entries
+        self.hist_mask = (1 << history_len) - 1
+        self.index_bits = max(1, self.mask.bit_length())
+
+    def entry(self, idx: int) -> _TageEntry:
+        """Get-or-create the entry at ``idx`` (mutation path)."""
+        e = self.table[idx]
+        if e is None:
+            e = self.table[idx] = _TageEntry()
+        return e
 
     def fold(self, history: int, bits: int) -> int:
         """Fold ``history_len`` history bits down to ``bits`` via XOR."""
-        h = history & ((1 << self.history_len) - 1)
+        h = history & self.hist_mask
         folded = 0
+        m = (1 << bits) - 1
         while h:
-            folded ^= h & ((1 << bits) - 1)
+            folded ^= h & m
             h >>= bits
         return folded
 
     def index(self, pc: int, history: int) -> int:
-        bits = self.mask.bit_length()
-        return ((pc >> 2) ^ self.fold(history, max(1, bits))) & self.mask
+        return ((pc >> 2) ^ self.fold(history, self.index_bits)) & self.mask
 
     def tag(self, pc: int, history: int) -> int:
         return ((pc >> 2) ^ (self.fold(history, self.tag_bits) << 1)) & self.tag_mask
@@ -72,27 +86,54 @@ class TagePredictor:
             _TaggedTable(table_entries, length, tag_bits) for length in lengths
         ]
         self.use_alt_on_new = 0  # in [0, 15]; prefer altpred for fresh entries
+        # One-deep scan memo: predict() inside update() re-walks the same
+        # (pc, history) point, and the fold chain is the predictor's hot
+        # path.  Keyed by (pc, history) — history shifts at the end of every
+        # update, and _allocate (the only tag mutator) invalidates manually
+        # for the history==0 self-loop case.
+        self._scan_key: tuple[int, int] | None = None
+        self._scan_val: tuple[int | None, int | None, list[int], list[int]]
 
     # ------------------------------------------------------------------
 
-    def _lookup(self, pc: int) -> tuple[int | None, int | None]:
-        """Return (provider_table_idx, alt_table_idx) of tag hits."""
+    def _scan(self, pc: int) -> tuple[int | None, int | None, list[int], list[int]]:
+        """Tag-match scan at the current history point (memoized).
+
+        Returns ``(provider, alt, indices, tags)`` where indices/tags are
+        per-table.  Untouched (None) slots read as the default entry.
+        """
+        key = (pc, self.history)
+        if self._scan_key == key:
+            return self._scan_val
+        history = self.history
+        indices = []
+        tags = []
+        for table in self.tables:
+            indices.append(table.index(pc, history))
+            tags.append(table.tag(pc, history))
         provider = None
         alt = None
         for t in range(len(self.tables) - 1, -1, -1):
-            table = self.tables[t]
-            entry = table.table[table.index(pc, self.history)]
-            if entry.tag == table.tag(pc, self.history):
+            entry = self.tables[t].table[indices[t]]
+            if (0 if entry is None else entry.tag) == tags[t]:
                 if provider is None:
                     provider = t
                 else:
                     alt = t
                     break
+        val = (provider, alt, indices, tags)
+        self._scan_key = key
+        self._scan_val = val
+        return val
+
+    def _lookup(self, pc: int) -> tuple[int | None, int | None]:
+        """Return (provider_table_idx, alt_table_idx) of tag hits."""
+        provider, alt, _, _ = self._scan(pc)
         return provider, alt
 
     def _table_prediction(self, t: int, pc: int) -> tuple[bool, _TageEntry]:
-        table = self.tables[t]
-        entry = table.table[table.index(pc, self.history)]
+        _, _, indices, _ = self._scan(pc)
+        entry = self.tables[t].entry(indices[t])
         return entry.counter >= 4, entry
 
     def predict(self, pc: int) -> bool:
@@ -154,17 +195,18 @@ class TagePredictor:
         )
 
     def _allocate(self, pc: int, taken: bool, start: int) -> None:
+        _, _, indices, tags = self._scan(pc)
+        # Tags are about to change under the memoized key (history may stay
+        # identical, e.g. an all-zero history shifting in another 0).
+        self._scan_key = None
         for t in range(start, len(self.tables)):
-            table = self.tables[t]
-            idx = table.index(pc, self.history)
-            entry = table.table[idx]
+            entry = self.tables[t].entry(indices[t])
             if entry.useful == 0:
-                entry.tag = table.tag(pc, self.history)
+                entry.tag = tags[t]
                 entry.counter = 4 if taken else 3
                 entry.useful = 0
                 return
         # Nothing allocatable: decay useful counters along the way.
         for t in range(start, len(self.tables)):
-            table = self.tables[t]
-            entry = table.table[table.index(pc, self.history)]
+            entry = self.tables[t].entry(indices[t])
             entry.useful = max(0, entry.useful - 1)

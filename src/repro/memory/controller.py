@@ -69,6 +69,11 @@ class PrivateCacheController:
             IPStridePrefetcher(params, self) if params.enable_prefetcher else None
         )
         # Hooks installed by the owning core.
+        # ``on_message`` fires before *any* delivered message is dispatched:
+        # the core uses it to raise its wake flag, so a sleeping core can
+        # never miss a message (the no-missed-wake invariant that makes
+        # quiescence scheduling sound; see docs/performance.md).
+        self.on_message: Callable[[], None] = lambda: None
         self.is_locked: Callable[[int], bool] = lambda line: False
         self.on_external_blocked: Callable[[int, Message], None] = lambda l, m: None
         self.on_external_observed: Callable[[int, Message], None] = lambda l, m: None
@@ -215,6 +220,7 @@ class PrivateCacheController:
     # ------------------------------------------------------------------
 
     def receive(self, msg: Message) -> None:
+        self.on_message()
         if msg.kind in (MsgKind.DATA, MsgKind.DATA_E):
             self._on_data(msg)
         elif msg.kind is MsgKind.INV:

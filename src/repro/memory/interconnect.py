@@ -42,12 +42,30 @@ class MeshNetwork:
         # (src_node, dst_node, cycle) -> messages already claiming that link
         self._link_claims: dict[tuple[int, int, int], int] = defaultdict(int)
         self._prune_before = 0
+        # Topology is static, so routes / hop counts / line->bank homes are
+        # pure functions of their arguments: memoized on first use (the
+        # cached route lists are shared — callers must not mutate them).
+        self._route_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        self._hops_cache: dict[tuple[int, int], int] = {}
+        self._bank_table: dict[int, int] = {}
+        # Stat objects are cached lazily so creation-on-first-use (and the
+        # resulting snapshot contents/order) match the unmemoized model.
+        self._stat_messages = None
+        self._stat_latency = None
+        self._stat_stalls = None
 
     def coords(self, node: int) -> tuple[int, int]:
         return node % self.side, node // self.side
 
     def route(self, src: int, dst: int) -> list[tuple[int, int]]:
-        """The route as a list of directed (node, node) links."""
+        """The route as a list of directed (node, node) links (memoized)."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = self._route_cache[key] = self._compute_route(src, dst)
+        return cached
+
+    def _compute_route(self, src: int, dst: int) -> list[tuple[int, int]]:
         if src == dst:
             return []
         if self.topology is NetworkTopology.CROSSBAR:
@@ -86,6 +104,13 @@ class MeshNetwork:
         return links
 
     def hops(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        cached = self._hops_cache.get(key)
+        if cached is None:
+            cached = self._hops_cache[key] = self._compute_hops(src, dst)
+        return cached
+
+    def _compute_hops(self, src: int, dst: int) -> int:
         if src == dst:
             return 0
         if self.topology is NetworkTopology.CROSSBAR:
@@ -100,24 +125,38 @@ class MeshNetwork:
 
     def delivery_cycle(self, src: int, dst: int, now: int) -> int:
         """Cycle at which a message sent at ``now`` arrives at ``dst``."""
-        self.stats.counter("messages").add()
+        messages = self._stat_messages
+        if messages is None:
+            messages = self._stat_messages = self.stats.counter("messages")
+        messages.add()
         if src == dst:
             # Same tile: one router traversal.
             return now + self.params.router_cycles
+        latency = self._stat_latency
+        if latency is None:
+            latency = self._stat_latency = self.stats.accumulator("latency")
         if not self.model_contention:
             arrival = now + self.hops(src, dst) * self.hop_latency
-            self.stats.accumulator("latency").add(arrival - now)
+            latency.add(arrival - now)
             return arrival
         t = now
-        for link in self.route(src, dst):
+        claims = self._link_claims
+        bandwidth = self.bandwidth
+        hop_latency = self.hop_latency
+        for a, b in self.route(src, dst):
             # Claim the earliest cycle >= t with spare bandwidth on the link.
             depart = t
-            while self._link_claims[(link[0], link[1], depart)] >= self.bandwidth:
+            while claims[(a, b, depart)] >= bandwidth:
                 depart += 1
-                self.stats.counter("link_stall_cycles").add()
-            self._link_claims[(link[0], link[1], depart)] += 1
-            t = depart + self.hop_latency
-        self.stats.accumulator("latency").add(t - now)
+                stalls = self._stat_stalls
+                if stalls is None:
+                    stalls = self._stat_stalls = self.stats.counter(
+                        "link_stall_cycles"
+                    )
+                stalls.add()
+            claims[(a, b, depart)] += 1
+            t = depart + hop_latency
+        latency.add(t - now)
         return t
 
     def prune(self, before_cycle: int) -> None:
@@ -135,8 +174,12 @@ class MeshNetwork:
         self._prune_before = before_cycle
 
     def bank_of(self, line: int) -> int:
-        """Home directory/L3 bank of a cacheline (static interleaving)."""
-        return line % self.num_nodes
+        """Home directory/L3 bank of a cacheline (static interleaving,
+        served from a lazily filled line->bank table)."""
+        bank = self._bank_table.get(line)
+        if bank is None:
+            bank = self._bank_table[line] = line % self.num_nodes
+        return bank
 
 
 # Alias reflecting the multi-topology support.

@@ -26,6 +26,10 @@ Checked invariants (all individually switchable via
 ``data-value``       at unlock, the memory image holds exactly the value
                      the atomic computed (the dirty result was not
                      clobbered on its way to memory).
+``missed-wake``      after a coherence message is delivered to a private
+                     cache controller, the owning core must be awake (or
+                     done) — the invariant that makes quiescence-aware
+                     scheduling sound (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ class SanitizerConfig:
     blocked_liveness: bool = True
     rmw_atomicity: bool = True
     data_value: bool = True
+    missed_wake: bool = True
     # A directory entry blocked longer than this (within one transaction)
     # is reported as a liveness violation.  Must comfortably exceed the
     # worst legitimate stall (lock revocation timeout + memory round trips).
@@ -114,6 +119,7 @@ class SanitizerHarness:
         self.banks = list(banks)
         self.controllers = list(controllers)
         self.cores = list(cores)
+        self._core_by_id = {core.core_id: core for core in self.cores}
         self.image = image
         self.config = config or SanitizerConfig()
         self.trace = MessageTraceRecorder(self.config.trace_depth)
@@ -158,10 +164,14 @@ class SanitizerHarness:
 
     def _wrap_controller(self, ctrl: "PrivateCacheController") -> None:
         orig = ctrl.receive
+        core = self._core_by_id.get(ctrl.core_id)
+        check_wake = self.config.missed_wake and core is not None
 
         def receive(msg: Message, _orig=orig) -> None:
             _orig(msg)
             self.check_line(msg.line)
+            if check_wake:
+                self.check_missed_wake(core, msg)
 
         ctrl.receive = receive  # type: ignore[method-assign]
         self.engine.register_core_endpoint(ctrl.core_id, receive)
@@ -424,6 +434,24 @@ class SanitizerHarness:
                 f"core {core_id} atomic on addr {addr:#x} saw {intervening} "
                 f"intervening write(s) between its read and write halves",
                 line,
+            )
+
+    def check_missed_wake(self, core: "Core", msg: Message) -> None:
+        """A delivered message must leave the owning core awake (or done).
+
+        Quiescence scheduling only skips a core on the promise that any
+        message reaching its controller raises the wake flag; a sleeping
+        core that just received a message would otherwise never be stepped
+        again — the classic lost-wakeup deadlock.
+        """
+        self._count("missed-wake")
+        if not core.awake and not core.done:
+            self._violation(
+                "missed-wake",
+                f"core {core.core_id} received {msg.kind.value} while asleep "
+                f"and was not woken (note_activity never raised the wake "
+                f"flag)",
+                msg.line,
             )
 
     def check_data_value(

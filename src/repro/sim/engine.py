@@ -95,24 +95,35 @@ class EventEngine:
 
     def run_events(self) -> bool:
         """Run every event due at the current cycle; True if any ran."""
-        ran = False
-        while self._heap and self._heap[0][0] <= self.now:
-            _, _, action = heapq.heappop(self._heap)
-            action()
-            ran = True
-        return ran
+        # Hot loop: the heap list identity is stable (schedule() pushes into
+        # the same object), so locals are safe across action() re-entry.
+        heap = self._heap
+        now = self.now
+        if not heap or heap[0][0] > now:
+            return False
+        pop = heapq.heappop
+        while heap and heap[0][0] <= now:
+            pop(heap)[2]()
+        return True
 
-    def advance(self, idle: bool) -> None:
+    def advance(self, idle: bool, wake_bound: int | None = None) -> None:
         """Move the clock forward one cycle, or jump to the next event.
 
         ``idle`` means no core did (or can do) work this cycle: then nothing
         changes until the next scheduled event, so the clock jumps straight
-        to it.  If idle with an empty heap the system is deadlocked.
+        to it.  ``wake_bound`` is the earliest scheduled core wake (see
+        :meth:`repro.core.pipeline.Core.next_wake_cycle`): the jump never
+        overshoots a sleeping core's scheduled resume cycle, so per-core
+        fast-forward can skip idle stretches without missing a wake.  If
+        idle with an empty heap and no pending wake, the system is
+        deadlocked.
         """
         if not idle:
             self.now += 1
             return
         nxt = self.next_event_cycle
+        if wake_bound is not None and (nxt is None or wake_bound < nxt):
+            nxt = wake_bound
         if nxt is None:
             raise DeadlockError(f"no pending events at cycle {self.now}")
         self.now = max(nxt, self.now + 1)

@@ -8,6 +8,7 @@ paper's figures consume.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.common.params import SystemParams
@@ -38,6 +39,9 @@ class RunResult:
     memory_snapshot: dict[int, int] = field(default_factory=dict)
     per_core_cycles: list[int] = field(default_factory=list)
     load_values: list[dict[int, int]] = field(default_factory=list)
+    # Scheduler-side instrumentation (step/skip/wake counters from the
+    # quiescence-aware spine).  Observer-only: never feeds RunMetrics.
+    spine: dict = field(default_factory=dict)
     # The EventTrace when tracing was requested (None otherwise).  A pure
     # observer: nothing above this field ever depends on it.
     trace: object | None = None
@@ -94,6 +98,14 @@ class MulticoreSimulator:
     :class:`~repro.obs.tracer.Tracer`).  Tracing is a pure observer:
     a traced run produces the same :class:`RunResult` statistics as an
     untraced one.
+
+    ``quiesce`` (default True) enables the quiescence-aware scheduler:
+    only awake cores are stepped, and the idle fast-forward is bounded by
+    ``min(next event, earliest scheduled core wake)``.  Timing-transparent
+    by construction — identical cycle counts and statistics either way
+    (docs/performance.md walks the argument); ``False`` falls back to the
+    step-every-core-every-cycle legacy loop, kept as the differential
+    baseline for tests and benchmarks.
     """
 
     def __init__(
@@ -102,6 +114,7 @@ class MulticoreSimulator:
         program: Program,
         sanitize: "bool | object" = False,
         trace: "bool | object" = False,
+        quiesce: bool = True,
     ) -> None:
         params.validate()
         if program.num_threads > params.num_cores:
@@ -148,6 +161,29 @@ class MulticoreSimulator:
             )
             self.cores.append(core)
         self._apply_warmup()
+        self.quiesce = quiesce
+        # Spine instrumentation: loop iterations, core-step calls and
+        # sleep->wake transitions.  Plain ints on the hot path; exported as
+        # the ``RunResult.spine`` dict (and consumed by the perf smoke gate
+        # in ``repro check`` and by ``benchmarks/bench_spine.py``).
+        self._iterations = 0
+        self._step_calls = 0
+        self._wake_count = 0
+        # (wake cycle, core id) min-heap mirroring every core's scheduled
+        # timed wakes; its top bounds the idle fast-forward in run().
+        self._wake_heap: list[tuple[int, int]] = []
+        if quiesce:
+            wake_heap = self._wake_heap
+
+            def scheduler(cycle: int, core: Core, _push=heapq.heappush) -> None:
+                _push(wake_heap, (cycle, core.core_id))
+
+            def sink(core: Core) -> None:
+                self._wake_count += 1
+
+            for core in self.cores:
+                core._wake_scheduler = scheduler
+                core._wake_sink = sink
         self.sanitizer = None
         if sanitize:
             from repro.sanitize.runtime import SanitizerConfig, attach_sanitizers
@@ -197,10 +233,130 @@ class MulticoreSimulator:
         """Simulate until every core finished its trace (and drained)."""
         engine = self.engine
         cores = self.cores
+        if self.quiesce:
+            self._run_quiesced(max_cycles)
+        else:
+            self._run_always_step(max_cycles)
+        if self.sanitizer is not None:
+            self.sanitizer.final_check()
+        breakdown = AtomicLatencyBreakdown()
+        for core in cores:
+            breakdown.merge(core.breakdown)
+        instructions = sum(len(t) for t in self.program.traces)
+        return RunResult(
+            program_name=self.program.name,
+            params=self.params,
+            cycles=engine.now,
+            instructions=instructions,
+            core_stats=[c.stats for c in cores],
+            controller_stats=[c.stats for c in self.controllers],
+            directory_stats=self.directory_stats,
+            network_stats=self.network_stats,
+            breakdown=breakdown,
+            memory_snapshot=self.image.snapshot(),
+            # ``is None``, not truthiness: a core with an empty trace
+            # legitimately finishes at cycle 0.
+            per_core_cycles=[
+                engine.now if c.finish_cycle is None else c.finish_cycle
+                for c in cores
+            ],
+            load_values=[c.load_values for c in cores],
+            spine=self.spine_snapshot(),
+            trace=self.tracer,
+        )
+
+    def spine_snapshot(self) -> dict:
+        """Scheduler counters: how much stepping the spine avoided."""
+        possible = self._iterations * len(self.cores)
+        skipped = possible - self._step_calls
+        return {
+            "quiesce": self.quiesce,
+            "iterations": self._iterations,
+            "step_calls": self._step_calls,
+            "possible_steps": possible,
+            "skipped_steps": skipped,
+            "skipped_fraction": (skipped / possible) if possible else 0.0,
+            "wakes": self._wake_count,
+        }
+
+    def _run_quiesced(self, max_cycles: int) -> None:
+        """Quiescence-aware main loop: step only awake cores.
+
+        A core whose step does no work leaves the runnable set until
+        ``note_activity`` re-raises its ``awake`` flag (message delivery,
+        completion callbacks) or a scheduled timed wake comes due.  The
+        idle fast-forward is bounded by the wake heap so a sleeping core's
+        scheduled resume is never overshot.  Timing-transparent vs. the
+        always-step loop: see docs/performance.md for the invariant.
+        """
+        engine = self.engine
+        cores = self.cores
+        wake_heap = self._wake_heap
+        pop_wake = heapq.heappop
+        run_events = engine.run_events
         prune_at = 100_000
+        iterations = 0
+        step_calls = 0
+        while True:
+            run_events()
+            now = engine.now
+            # Retire timed wakes that are due before cores step this cycle.
+            while wake_heap and wake_heap[0][0] <= now:
+                cores[pop_wake(wake_heap)[1]].fire_due_wakes(now)
+            iterations += 1
+            any_work = False
+            all_done = True
+            for core in cores:
+                if core.awake and not core.done:
+                    step_calls += 1
+                    if core.step(now):
+                        any_work = True
+                    else:
+                        core.awake = False
+                if not core.done:
+                    all_done = False
+            if all_done:
+                break
+            if now > max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(program {self.program.name!r})"
+                )
+            if now > prune_at:
+                self.network.prune(now - 10_000)
+                prune_at = now + 100_000
+            try:
+                engine.advance(
+                    idle=not any_work,
+                    wake_bound=wake_heap[0][0] if wake_heap else None,
+                )
+            except DeadlockError as exc:
+                self._iterations += iterations
+                self._step_calls += step_calls
+                reasons = {c.core_id: c.quiescence_reason() for c in cores}
+                raise DeadlockError(
+                    f"{exc} — program {self.program.name!r}, "
+                    f"cores done: {[c.done for c in cores]}, "
+                    f"quiescence: {reasons}"
+                ) from exc
+        self._iterations += iterations
+        self._step_calls += step_calls
+
+    def _run_always_step(self, max_cycles: int) -> None:
+        """Legacy loop: every core steps every cycle.
+
+        Kept as the differential baseline: tests and ``bench_spine.py``
+        compare its statistics and wall-clock against the quiescence-aware
+        loop.
+        """
+        engine = self.engine
+        cores = self.cores
+        prune_at = 100_000
+        iterations = 0
         while True:
             engine.run_events()
             now = engine.now
+            iterations += 1
             any_work = False
             all_done = True
             for core in cores:
@@ -221,31 +377,14 @@ class MulticoreSimulator:
             try:
                 engine.advance(idle=not any_work)
             except DeadlockError as exc:
+                self._iterations += iterations
+                self._step_calls += iterations * len(cores)
                 raise DeadlockError(
                     f"{exc} — program {self.program.name!r}, "
                     f"cores done: {[c.done for c in cores]}"
                 ) from exc
-        if self.sanitizer is not None:
-            self.sanitizer.final_check()
-        breakdown = AtomicLatencyBreakdown()
-        for core in cores:
-            breakdown.merge(core.breakdown)
-        instructions = sum(len(t) for t in self.program.traces)
-        return RunResult(
-            program_name=self.program.name,
-            params=self.params,
-            cycles=engine.now,
-            instructions=instructions,
-            core_stats=[c.stats for c in cores],
-            controller_stats=[c.stats for c in self.controllers],
-            directory_stats=self.directory_stats,
-            network_stats=self.network_stats,
-            breakdown=breakdown,
-            memory_snapshot=self.image.snapshot(),
-            per_core_cycles=[c.finish_cycle or engine.now for c in cores],
-            load_values=[c.load_values for c in cores],
-            trace=self.tracer,
-        )
+        self._iterations += iterations
+        self._step_calls += iterations * len(cores)
 
 
 def simulate(
@@ -254,7 +393,10 @@ def simulate(
     max_cycles: int = 50_000_000,
     sanitize: "bool | object" = False,
     trace: "bool | object" = False,
+    quiesce: bool = True,
 ) -> RunResult:
     """Convenience one-shot: build the system and run the program."""
-    sim = MulticoreSimulator(params, program, sanitize=sanitize, trace=trace)
+    sim = MulticoreSimulator(
+        params, program, sanitize=sanitize, trace=trace, quiesce=quiesce
+    )
     return sim.run(max_cycles=max_cycles)

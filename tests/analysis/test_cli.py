@@ -286,3 +286,57 @@ class TestCheckCommand:
         out = capsys.readouterr().out
         assert "== repro lint ==" in out
         assert "lint clean" in out
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "pc"])
+        assert args.fn.__name__ == "cmd_profile"
+        assert args.workload == "pc"
+        assert args.mode == "eager"
+        assert args.top == 25
+        assert args.out is None
+        assert not args.no_quiesce
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "nosuch"])
+
+    def test_profile_smoke(self, capsys):
+        rc = main(
+            [
+                "profile",
+                "pc",
+                "--threads",
+                "2",
+                "--instructions",
+                "400",
+                "--config",
+                "quick",
+                "--top",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out  # the spine header line
+        assert "cumulative" in out  # pstats table printed
+
+    def test_profile_dumps_pstats(self, tmp_path, capsys):
+        out_file = tmp_path / "run.pstats"
+        rc = main(
+            [
+                "profile",
+                "pc",
+                "--threads",
+                "2",
+                "--instructions",
+                "400",
+                "--config",
+                "quick",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        assert out_file.exists() and out_file.stat().st_size > 0

@@ -4,6 +4,7 @@ workload shapes and timing parameters."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.runner import RunMetrics
 from repro.common.params import AtomicMode, SystemParams
 from repro.sim.multicore import simulate
 from repro.workloads.litmus import atomic_counter
@@ -49,6 +50,29 @@ class TestCompletionProperty:
         committed = res.merged_core_stats().counter("committed").value
         assert committed == prog.total_instructions()
 
+class TestQuiescenceTransparencyProperty:
+    @given(
+        seed=st.integers(0, 100),
+        workload=st.sampled_from(["pc", "barnes", "sps"]),
+        mode=st.sampled_from([AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_quiesce_on_off_identical_metrics(self, seed, workload, mode):
+        """The quiescence-aware scheduler is timing-transparent: for any
+        workload shape, seed and policy, its RunMetrics JSON is bit-identical
+        to the step-every-core-every-cycle loop's."""
+        prog = build_program(workload, 2, 500, seed=seed)
+        params = SystemParams.quick(atomic_mode=mode)
+        quiesced = simulate(params, prog)
+        legacy = simulate(params, prog, quiesce=False)
+        assert RunMetrics.from_result(quiesced).to_json() == (
+            RunMetrics.from_result(legacy).to_json()
+        )
+        assert quiesced.memory_snapshot == legacy.memory_snapshot
+        assert quiesced.per_core_cycles == legacy.per_core_cycles
+
+
+class TestCompletionPropertyModes:
     @given(seed=st.integers(0, 20))
     @settings(max_examples=8, deadline=None)
     def test_modes_agree_on_final_memory_for_private_data(self, seed):

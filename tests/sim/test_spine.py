@@ -1,0 +1,166 @@
+"""Quiescence-aware spine tests: sleep/wake surface, timing transparency,
+deadlock diagnostics and the missed-wake sanitizer checker."""
+
+import pytest
+
+from repro.analysis.runner import RunMetrics
+from repro.common.params import AtomicMode, SystemParams
+from repro.isa.instructions import Program, ThreadTrace, load, store
+from repro.sanitize.errors import ProtocolInvariantError
+from repro.sim.engine import DeadlockError
+from repro.sim.multicore import MulticoreSimulator, simulate
+from repro.workloads.litmus import atomic_counter
+from repro.workloads.synthetic import build_program
+
+
+class TestQuiescenceSurface:
+    def test_fresh_core_is_awake_and_unscheduled(self):
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 1))
+        core = sim.cores[0]
+        assert core.awake
+        assert not core.quiescent()
+        assert core.next_wake_cycle() is None
+
+    def test_schedule_wake_orders_earliest_first(self):
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 1))
+        core = sim.cores[0]
+        core.schedule_wake(30)
+        core.schedule_wake(10)
+        core.schedule_wake(20)
+        assert core.next_wake_cycle() == 10
+
+    def test_fire_due_wakes_raises_awake_flag(self):
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 1))
+        core = sim.cores[0]
+        core.schedule_wake(10)
+        core.awake = False
+        core.fire_due_wakes(5)  # not due yet
+        assert not core.awake
+        assert core.next_wake_cycle() == 10
+        core.fire_due_wakes(10)  # due: retires the wake and raises the flag
+        assert core.awake
+        assert core.next_wake_cycle() is None
+
+    def test_note_activity_reports_to_sink_once(self):
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 1))
+        core = sim.cores[0]
+        woken = []
+        core._wake_sink = woken.append
+        core.awake = False
+        core.note_activity()
+        core.note_activity()  # already awake: no second wake event
+        assert woken == [core]
+        assert core.awake
+
+    def test_done_core_is_quiescent(self):
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 1))
+        sim.run()
+        assert all(c.quiescent() for c in sim.cores)
+        assert all(c.quiescence_reason() == "done" for c in sim.cores)
+
+
+class TestSpineSnapshot:
+    def test_counters_consistent(self):
+        prog = atomic_counter(2, 10)
+        res = simulate(SystemParams.quick(), prog)
+        spine = res.spine
+        assert spine["quiesce"] is True
+        assert spine["possible_steps"] == spine["iterations"] * 2
+        assert spine["step_calls"] + spine["skipped_steps"] == (
+            spine["possible_steps"]
+        )
+        assert 0.0 <= spine["skipped_fraction"] <= 1.0
+
+    def test_legacy_loop_skips_nothing(self):
+        prog = atomic_counter(2, 10)
+        res = simulate(SystemParams.quick(), prog, quiesce=False)
+        assert res.spine["quiesce"] is False
+        assert res.spine["skipped_steps"] == 0
+        assert res.spine["skipped_fraction"] == 0.0
+
+    def test_idle_workload_skips_steps(self):
+        prog = atomic_counter(4, 25)
+        res = simulate(SystemParams.quick(), prog)
+        assert res.spine["skipped_fraction"] > 0.3
+        assert res.spine["wakes"] > 0
+
+
+class TestPerCoreCyclesRegression:
+    def test_empty_trace_core_finishes_at_cycle_zero(self):
+        """A core with an empty trace finishes at cycle 0; the harness must
+        not confuse that legitimate 0 with the never-finished sentinel."""
+        instrs = [load(0, pc=4, addr=640), store(1, pc=8, addr=704, value=2)]
+        prog = Program("tiny", [ThreadTrace(0, instrs), ThreadTrace(1, [])])
+        res = simulate(SystemParams.quick(num_cores=2), prog)
+        assert res.per_core_cycles[0] > 0
+        assert res.per_core_cycles[1] == 0
+
+
+class TestTimingTransparency:
+    @pytest.mark.parametrize(
+        "mode", [AtomicMode.EAGER, AtomicMode.LAZY, AtomicMode.ROW]
+    )
+    def test_remote_invalidation_wakes_sleeper(self, mode):
+        """The wake litmus: every core sleeps on the hot line while another
+        core holds it, so forward/invalidation messages are what reawaken
+        sleepers.  Must complete (no missed wake -> no deadlock) with
+        statistics identical to the always-step loop.  Runs sanitized so
+        the missed-wake checker audits every delivery."""
+        prog = atomic_counter(4, 30)
+        params = SystemParams.quick(atomic_mode=mode)
+        quiesced = simulate(params, prog, sanitize=True)
+        legacy = simulate(params, prog, quiesce=False)
+        assert quiesced.spine["skipped_steps"] > 0
+        assert (
+            RunMetrics.from_result(quiesced).to_json()
+            == RunMetrics.from_result(legacy).to_json()
+        )
+
+    def test_contended_profile_identical_metrics(self):
+        prog = build_program("pc", 2, 800, seed=3)
+        params = SystemParams.quick(atomic_mode=AtomicMode.EAGER)
+        a = simulate(params, prog)
+        b = simulate(params, prog, quiesce=False)
+        assert RunMetrics.from_result(a).to_json() == (
+            RunMetrics.from_result(b).to_json()
+        )
+
+
+def _suppress_wakes(sim: MulticoreSimulator, core_id: int) -> None:
+    """Seeded defect: core ``core_id`` never reawakens.
+
+    Both wake funnels must be cut — the instance attribute shadows every
+    later ``note_activity`` lookup (timed wakes, recovery), but the cache
+    controller captured the bound method at construction, so its
+    ``on_message`` hook is replaced separately.
+    """
+    sim.cores[core_id].note_activity = lambda: None
+    sim.controllers[core_id].on_message = lambda: None
+
+
+class TestMissedWakeDefect:
+    def test_all_quiescent_raises_deadlock_with_reasons(self):
+        """With wakes suppressed (and no sanitizer) the stuck core sleeps
+        through its data response; once events drain, the spine reports a
+        deadlock carrying per-core quiescence diagnostics."""
+        sim = MulticoreSimulator(SystemParams.quick(), atomic_counter(2, 5))
+        _suppress_wakes(sim, 1)
+        with pytest.raises(DeadlockError, match="quiescence"):
+            sim.run()
+
+    def test_sanitizer_catches_missed_wake_at_delivery(self):
+        """The missed-wake checker flags the defect at the first message
+        delivered to a sleeping core — long before the deadlock."""
+        sim = MulticoreSimulator(
+            SystemParams.quick(), atomic_counter(2, 5), sanitize=True
+        )
+        _suppress_wakes(sim, 1)
+        with pytest.raises(ProtocolInvariantError, match="missed-wake"):
+            sim.run()
+
+    def test_sanitized_clean_run_counts_missed_wake_checks(self):
+        sim = MulticoreSimulator(
+            SystemParams.quick(), atomic_counter(2, 5), sanitize=True
+        )
+        sim.run()
+        assert sim.sanitizer.checks.get("missed-wake", 0) > 0
