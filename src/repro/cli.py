@@ -9,7 +9,8 @@ list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
 validate   check the paper's qualitative claims end to end
 profile    cProfile one simulation run (top-N by cumulative time)
-lint       static protocol/convention/architecture lint over the sources
+lint       static protocol/convention/architecture/effect lint
+effects    dump the interprocedural effect summary (and effect findings)
 check      lint + golden stats + perf smoke + tier-1 tests (the CI gate)
 
 ``figure``, ``sweep`` and ``validate`` accept ``--jobs/-j N`` to fan the
@@ -17,6 +18,12 @@ check      lint + golden stats + perf smoke + tier-1 tests (the CI gate)
 ``--cache-dir``/``--no-cache`` to control the persistent on-disk result
 cache (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  A warm cache
 re-renders a figure without running a single simulation.
+
+Exit codes
+----------
+The static-analysis commands (``lint``, ``effects``, ``check`` incl.
+``--lint-only``) share one contract: **0** clean, **1** findings (or a
+failed gate), **2** usage error (unknown rule/effect name, bad flags).
 """
 
 from __future__ import annotations
@@ -41,6 +48,17 @@ from repro.workloads.synthetic import build_program
 
 class UsageError(Exception):
     """A bad invocation that should exit with status 2, not a traceback."""
+
+
+def _add_rule_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rule families (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="drop these rule families (repeatable, comma-separable)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -149,16 +167,24 @@ def cmd_run(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    """Exit 0 clean / 1 findings / 2 usage error (unknown rule name)."""
     from repro.sanitize import run_lint
 
-    findings = run_lint(args.root)
+    try:
+        findings = run_lint(
+            args.root,
+            select=getattr(args, "select", None),
+            ignore=getattr(args, "ignore", None),
+        )
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
     if args.json:
         import json
 
         print(json.dumps(
             [
                 {"path": f.path, "line": f.line, "rule": f.rule,
-                 "message": f.message}
+                 "message": f.message, "effect": f.effect}
                 for f in findings
             ],
             indent=2,
@@ -167,6 +193,58 @@ def cmd_lint(args) -> int:
         for finding in findings:
             print(finding)
         print(f"{len(findings)} finding(s)" if findings else "lint clean")
+    return 1 if findings else 0
+
+
+def cmd_effects(args) -> int:
+    """Dump the inferred effect summary; exit 0 clean / 1 if the effect
+    rule families report findings / 2 on a bad ``--only`` value."""
+    from repro.sanitize import effect_lint, effects
+
+    labels = tuple(e.label for e in effects.Effect)
+    if args.only is not None and args.only not in labels:
+        raise UsageError(
+            f"unknown effect {args.only!r} for --only; "
+            f"choose from: {', '.join(labels)}"
+        )
+    analysis = effects.analyze(args.root)
+    findings = effect_lint.run(analysis.base, analysis)
+    rows = analysis.summary_rows()
+    if args.only:
+        rows = [r for r in rows if r["effect"] == args.only]
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "functions": rows,
+                "findings": [
+                    {"path": f.path, "line": f.line, "rule": f.rule,
+                     "message": f.message}
+                    for f in findings
+                ],
+            },
+            indent=2,
+        ))
+        return 1 if findings else 0
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[str(row["effect"])] = counts.get(str(row["effect"]), 0) + 1
+    print(render_table(
+        f"inferred effects ({len(rows)} functions; "
+        + ", ".join(f"{counts.get(l, 0)} {l}" for l in labels) + ")",
+        ["function", "where", "effect", "direct", "reason"],
+        [
+            [row["function"], f"{row['path']}:{row['line']}",
+             row["effect"], row["direct_effect"], row["reason"]]
+            for row in rows
+        ],
+    ))
+    for finding in findings:
+        print(finding)
+    print(
+        f"{len(findings)} finding(s)" if findings else "effect analysis clean"
+    )
     return 1 if findings else 0
 
 
@@ -227,12 +305,35 @@ def _check_perf_smoke() -> int:
     return 0
 
 
+# Whole-repo static analysis (all four lint families, including the
+# interprocedural effect fixpoint) must stay interactive-fast, or the CI
+# gate rots and people stop running it.
+LINT_BUDGET_SECONDS = 10.0
+
+
 def cmd_check(args) -> int:
-    """The CI gate: lint, golden bit-identity, perf smoke, tier-1 tests."""
+    """The CI gate: lint, golden bit-identity, perf smoke, tier-1 tests.
+
+    Exit codes follow the lint contract: 0 all gates pass, 1 any gate
+    fails (including the lint wall-clock budget), 2 usage error.
+    """
     import subprocess
+    import time
 
     print("== repro lint ==")
+    lint_start = time.monotonic()
     lint_rc = cmd_lint(args)
+    lint_elapsed = time.monotonic() - lint_start
+    print(
+        f"lint wall-clock {lint_elapsed:.2f}s "
+        f"(budget {LINT_BUDGET_SECONDS:.0f}s)"
+    )
+    if lint_elapsed > LINT_BUDGET_SECONDS:
+        print(
+            "lint budget exceeded: the static analyzer itself regressed;"
+            " profile repro.sanitize before shipping"
+        )
+        lint_rc = lint_rc or 1
     if args.lint_only:
         return lint_rc
     print("== golden stats ==")
@@ -525,7 +626,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", help="lint a tree other than the installed repro package"
     )
     p_lint.add_argument("--json", action="store_true", help="machine output")
+    _add_rule_filters(p_lint)
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_eff = sub.add_parser(
+        "effects",
+        help="interprocedural effect summary (exit 1 on effect findings)",
+    )
+    p_eff.add_argument(
+        "--root", help="analyze a tree other than the installed repro package"
+    )
+    p_eff.add_argument("--json", action="store_true", help="machine output")
+    p_eff.add_argument(
+        "--only",
+        help="show only functions with this effect "
+        "(pure/reads_sim/mutates_sim/nondet)",
+    )
+    p_eff.set_defaults(fn=cmd_effects)
 
     p_check = sub.add_parser(
         "check",
@@ -536,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", help="lint a tree other than the installed repro package"
     )
     p_check.add_argument("--json", action="store_true", help="machine lint output")
+    _add_rule_filters(p_check)
     p_check.add_argument(
         "--lint-only", action="store_true", help="skip the test-suite stage"
     )

@@ -189,6 +189,11 @@ class Core:
             heapq.heappop(pending)
         self.note_activity()
 
+    # The three quiescence queries below are called speculatively — and
+    # sometimes repeatedly — by the fast-forward harness, so they must be
+    # pure reads.  The `quiescence-purity` effect rule (repro lint)
+    # statically verifies everything they reach stays <= READS_SIM.
+
     def next_wake_cycle(self) -> int | None:
         """Earliest scheduled future self-wake, if any."""
         return self._pending_wakes[0] if self._pending_wakes else None

@@ -17,7 +17,13 @@ the same :class:`~repro.analysis.parallel.RunSpec` produce bit-identical
 :class:`~repro.analysis.runner.RunMetrics` (asserted by
 ``tests/obs/test_trace_identity.py``).  Trace presence therefore never
 changes cached metric identity — the same discipline as the PR-1 runtime
-sanitizers.
+sanitizers.  The contract is also *statically* enforced: the
+``observer-purity`` effect rule (``repro.sanitize.effect_lint``) checks
+every ``if tracer is not None`` body against the inferred effect
+summaries, and the ``obs/`` package is deliberately outside the
+simulation-state surface, so hook implementations here may mutate their
+own buffers/counters freely while anything touching core/memory/sim
+state is flagged.
 
 Bounded memory
 --------------

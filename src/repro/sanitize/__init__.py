@@ -1,6 +1,6 @@
 """Correctness tooling: static protocol lint + runtime invariant sanitizers.
 
-Three layers (see ``docs/sanitizer.md``):
+Four layers (see ``docs/sanitizer.md``):
 
 1. static protocol lint — AST extraction of the (state × MsgKind)
    transition table, exhaustiveness and permission-mutation checks;
@@ -8,19 +8,23 @@ Three layers (see ``docs/sanitizer.md``):
    liveness / atomicity / data-value invariant checkers that wrap a live
    system and raise :class:`ProtocolInvariantError` with a message trace;
 3. convention lint — no wall clock, no unseeded randomness, int-only
-   cycle arithmetic, every ``receive()`` rejects unknown kinds.
+   cycle arithmetic, every ``receive()`` rejects unknown kinds;
+4. effect lint — interprocedural PURE/READS_SIM/MUTATES_SIM/NONDET
+   inference proving observer purity, quiescence-query purity and
+   whole-loop determinism (``python -m repro effects`` for the summary).
 
 Run the static layers with ``python -m repro lint``; enable the runtime
 layer with ``simulate(..., sanitize=True)`` or ``python -m repro run
 --sanitize``.
 """
 
+from repro.sanitize.effects import Effect, EffectAnalysis, analyze
 from repro.sanitize.errors import (
     ProtocolInvariantError,
     SanitizeError,
     UnknownEndpointError,
 )
-from repro.sanitize.lint import LintFinding, run_lint
+from repro.sanitize.lint import KNOWN_RULES, LintFinding, run_lint
 from repro.sanitize.runtime import (
     SanitizerConfig,
     SanitizerHarness,
@@ -28,12 +32,16 @@ from repro.sanitize.runtime import (
 )
 
 __all__ = [
+    "Effect",
+    "EffectAnalysis",
+    "KNOWN_RULES",
     "LintFinding",
     "ProtocolInvariantError",
     "SanitizeError",
     "SanitizerConfig",
     "SanitizerHarness",
     "UnknownEndpointError",
+    "analyze",
     "attach_sanitizers",
     "run_lint",
 ]

@@ -22,10 +22,16 @@ imported or executed.
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
 
-from repro.sanitize.lint import LintFinding, iter_py_files, parse_file, rel
+from repro.sanitize.lint import (
+    LintFinding,
+    imported_modules,
+    iter_py_files,
+    parse_file,
+    rel,
+    walk_statements,
+)
 
 RULE = "arch-import"
 
@@ -40,45 +46,6 @@ LAYER_CONTRACT: dict[str, tuple[str, ...]] = {
 NO_TYPING_ESCAPE = ("memory",)
 
 
-def _is_type_checking_test(test: ast.expr) -> bool:
-    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
-    if isinstance(test, ast.Name):
-        return test.id == "TYPE_CHECKING"
-    if isinstance(test, ast.Attribute):
-        return test.attr == "TYPE_CHECKING"
-    return False
-
-
-def _imported_modules(node: ast.stmt) -> list[str]:
-    if isinstance(node, ast.Import):
-        return [alias.name for alias in node.names]
-    if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-        return [node.module]
-    return []
-
-
-def _walk(body: list[ast.stmt], type_checking: bool):
-    """Yield ``(stmt, in_type_checking_block)`` over every statement."""
-    for node in body:
-        yield node, type_checking
-        if isinstance(node, ast.If):
-            guarded = type_checking or _is_type_checking_test(node.test)
-            yield from _walk(node.body, guarded)
-            yield from _walk(node.orelse, type_checking)
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            yield from _walk(node.body, type_checking)
-        elif isinstance(node, (ast.For, ast.While, ast.With)):
-            yield from _walk(node.body, type_checking)
-            if isinstance(node, (ast.For, ast.While)):
-                yield from _walk(node.orelse, type_checking)
-        elif isinstance(node, ast.Try):
-            yield from _walk(node.body, type_checking)
-            for handler in node.handlers:
-                yield from _walk(handler.body, type_checking)
-            yield from _walk(node.orelse, type_checking)
-            yield from _walk(node.finalbody, type_checking)
-
-
 def check_file(path: Path, base: Path) -> list[LintFinding]:
     relpath = rel(path, base)
     layer = Path(relpath).parts[0] if Path(relpath).parts else ""
@@ -87,10 +54,10 @@ def check_file(path: Path, base: Path) -> list[LintFinding]:
         return []
     findings: list[LintFinding] = []
     tree = parse_file(path)
-    for node, type_checking in _walk(tree.body, type_checking=False):
+    for node, type_checking in walk_statements(tree.body):
         if type_checking and layer not in NO_TYPING_ESCAPE:
             continue
-        for module in _imported_modules(node):
+        for module in imported_modules(node):
             hit = next(
                 (
                     prefix

@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.sanitize.lint import (
     LintFinding,
     attribute_chain,
+    if_chains,
     iter_py_files,
     parse_file,
     rel,
@@ -34,8 +35,9 @@ from repro.sanitize.lint import (
 
 WALLCLOCK_MODULES = ("time", "datetime")
 # Host-side experiment orchestration: wall-clock feeds the progress/ETA
-# line of the parallel runner only, never simulated cycle counts.
-WALLCLOCK_EXEMPT = ("analysis/parallel.py",)
+# line of the parallel runner and the CLI's lint wall-clock budget gate,
+# never simulated cycle counts.
+WALLCLOCK_EXEMPT = ("analysis/parallel.py", "cli.py")
 # The sanctioned seeded-RNG factory module may mention numpy.random freely.
 RANDOM_EXEMPT = ("common/rng.py",)
 # numpy.random attributes that construct explicitly-seeded generators.
@@ -153,7 +155,7 @@ def _check_receive_reject(tree: ast.Module, relpath: str) -> list[LintFinding]:
     for fn in ast.walk(tree):
         if not isinstance(fn, ast.FunctionDef) or fn.name != "receive":
             continue
-        for arms, final_orelse in _if_chains(fn):
+        for arms, final_orelse in if_chains(fn):
             dispatches_kind = any(
                 isinstance(sub, ast.Attribute) and sub.attr == "kind"
                 for arm in arms
@@ -174,19 +176,3 @@ def _check_receive_reject(tree: ast.Module, relpath: str) -> list[LintFinding]:
                     "dropped silently",
                 ))
     return findings
-
-
-def _if_chains(fn: ast.FunctionDef) -> list[tuple[list[ast.If], list[ast.stmt]]]:
-    chains = []
-    elif_nodes: set[int] = set()
-    for node in ast.walk(fn):
-        if not isinstance(node, ast.If) or id(node) in elif_nodes:
-            continue
-        arms = [node]
-        cur = node
-        while len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
-            cur = cur.orelse[0]
-            elif_nodes.add(id(cur))
-            arms.append(cur)
-        chains.append((arms, cur.orelse))
-    return chains

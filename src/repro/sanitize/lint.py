@@ -1,4 +1,4 @@
-"""Static lint driver: protocol-table exhaustiveness + codebase conventions.
+"""Static lint driver: protocol tables, conventions, layering, effects.
 
 ``run_lint(root)`` parses the simulator sources under ``root`` (default: the
 installed ``repro`` package) with :mod:`ast` — nothing is imported or
@@ -6,7 +6,7 @@ executed — and returns a sorted list of :class:`LintFinding`.  The CLI
 (``python -m repro lint``) exits non-zero when any finding is reported, so
 CI can gate on a clean tree.
 
-Two rule families live in sibling modules:
+Four rule families live in sibling modules:
 
 * :mod:`repro.sanitize.protocol_lint` — extracts the
   (controller state × MsgKind) transition table from the coherence state
@@ -19,24 +19,78 @@ Two rule families live in sibling modules:
   not import memory/sim/analysis/obs implementations at runtime (it goes
   through :mod:`repro.core.ports`), and ``memory/`` may not import
   ``repro.core`` at all.
+* :mod:`repro.sanitize.effect_lint` — interprocedural effect analysis
+  (:mod:`repro.sanitize.effects`): observer code stays ≤ ``READS_SIM``,
+  the quiescence queries are pure, and nothing nondeterministic is
+  reachable from the simulation loop.
+
+Selection and suppression
+-------------------------
+``run_lint(root, select=..., ignore=...)`` filters by rule family so new
+families can be adopted incrementally (CLI: ``repro lint --select RULE`` /
+``--ignore RULE``).  A single finding can be silenced in place with an
+inline ``repro: noqa[rule]`` comment on the finding's line; a noqa that
+suppresses nothing is itself reported (``unused-suppression``) so stale
+escapes cannot accumulate.
+
+This module also hosts the AST helpers shared by every rule family
+(attribute chains, if/elif-chain walking, TYPE_CHECKING detection,
+import extraction, guarded statement traversal).
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator
+
+#: Every rule family any linter can emit — the vocabulary accepted by
+#: ``--select`` / ``--ignore`` and ``repro: noqa[rule]`` comments.
+KNOWN_RULES = frozenset({
+    # protocol_lint
+    "unrouted-msgkind",
+    "unknown-msgkind",
+    "unhandled-state-event",
+    "unknown-state",
+    "permission-mutation",
+    "protocol-source-missing",
+    # convention_lint
+    "wallclock",
+    "unseeded-random",
+    "float-cycles",
+    "receive-reject",
+    # arch_lint
+    "arch-import",
+    # effect_lint
+    "observer-purity",
+    "quiescence-purity",
+    "determinism",
+    "effect-root-missing",
+    "unused-effect-pragma",
+    # driver
+    "unused-suppression",
+})
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([a-z\-,\s]+)\]")
 
 
 @dataclass(frozen=True, order=True)
 class LintFinding:
-    """One lint diagnostic, ordered for stable reporting."""
+    """One lint diagnostic, ordered for stable reporting.
+
+    ``effect`` is the inferred effect (``pure`` / ``reads_sim`` /
+    ``mutates_sim`` / ``nondet``) of the function enclosing the finding,
+    filled in by the driver from the effect analysis; empty when the line
+    is outside any analyzed function.
+    """
 
     path: str  # path relative to the linted root
     line: int
     rule: str
     message: str
+    effect: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
@@ -65,6 +119,10 @@ def rel(path: Path, root: Path) -> str:
         return str(path)
 
 
+# ----------------------------------------------------------------------
+# Shared AST helpers (used by every rule family)
+# ----------------------------------------------------------------------
+
 def attribute_chain(node: ast.expr) -> list[str] | None:
     """``a.b.c`` -> ["a", "b", "c"]; None for non-name-rooted expressions."""
     parts: list[str] = []
@@ -78,13 +136,163 @@ def attribute_chain(node: ast.expr) -> list[str] | None:
     return None
 
 
-def run_lint(root: Path | str | None = None) -> list[LintFinding]:
-    """Run every lint family over the tree rooted at ``root``."""
-    from repro.sanitize import arch_lint, convention_lint, protocol_lint
+def is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def imported_modules(node: ast.stmt) -> list[str]:
+    """Absolute module names imported by one statement (empty otherwise)."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        return [node.module]
+    return []
+
+
+def walk_statements(
+    body: list[ast.stmt], type_checking: bool = False
+) -> Iterator[tuple[ast.stmt, bool]]:
+    """Yield ``(stmt, in_type_checking_block)`` over every statement,
+    descending into guarded bodies, loops, try blocks and nested defs."""
+    for node in body:
+        yield node, type_checking
+        if isinstance(node, ast.If):
+            guarded = type_checking or is_type_checking_test(node.test)
+            yield from walk_statements(node.body, guarded)
+            yield from walk_statements(node.orelse, type_checking)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield from walk_statements(node.body, type_checking)
+        elif isinstance(node, (ast.For, ast.While, ast.With)):
+            yield from walk_statements(node.body, type_checking)
+            if isinstance(node, (ast.For, ast.While)):
+                yield from walk_statements(node.orelse, type_checking)
+        elif isinstance(node, ast.Try):
+            yield from walk_statements(node.body, type_checking)
+            for handler in node.handlers:
+                yield from walk_statements(handler.body, type_checking)
+            yield from walk_statements(node.orelse, type_checking)
+            yield from walk_statements(node.finalbody, type_checking)
+
+
+def if_chains(
+    fn: ast.FunctionDef,
+) -> list[tuple[list[ast.If], list[ast.stmt]]]:
+    """Every if/elif chain in ``fn`` as ``(arms, final-orelse)``."""
+    chains = []
+    elif_nodes: set[int] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.If) or id(node) in elif_nodes:
+            continue
+        arms = [node]
+        cur = node
+        while len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
+            cur = cur.orelse[0]
+            elif_nodes.add(id(cur))
+            arms.append(cur)
+        chains.append((arms, cur.orelse))
+    return chains
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def validate_rules(names: list[str] | None, flag: str) -> set[str]:
+    """Normalize a ``--select``/``--ignore`` rule list; raise on unknowns."""
+    out: set[str] = set()
+    for entry in names or ():
+        for name in entry.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if name not in KNOWN_RULES:
+                raise ValueError(
+                    f"unknown rule {name!r} for {flag}; known rules: "
+                    f"{', '.join(sorted(KNOWN_RULES))}"
+                )
+            out.add(name)
+    return out
+
+
+def _apply_noqa(
+    findings: list[LintFinding], base: Path
+) -> list[LintFinding]:
+    """Drop findings silenced by ``repro: noqa[rule]`` comments, and
+    report every noqa that silenced nothing (``unused-suppression``)."""
+    # (relpath, line) -> set of rule names declared there.
+    declared: dict[tuple[str, int], set[str]] = {}
+    for path in iter_py_files(base):
+        relpath = rel(path, base)
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            m = _NOQA_RE.search(text)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+                declared[(relpath, lineno)] = rules
+    if not declared:
+        return findings
+    used: set[tuple[str, int]] = set()
+    kept: list[LintFinding] = []
+    for finding in findings:
+        rules = declared.get((finding.path, finding.line))
+        if rules and finding.rule in rules:
+            used.add((finding.path, finding.line))
+        else:
+            kept.append(finding)
+    for (relpath, lineno), rules in declared.items():
+        if (relpath, lineno) in used:
+            continue
+        kept.append(LintFinding(
+            relpath, lineno, "unused-suppression",
+            f"noqa[{','.join(sorted(rules))}] suppresses no finding; "
+            f"remove the stale escape",
+        ))
+    return kept
+
+
+def run_lint(
+    root: Path | str | None = None,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> list[LintFinding]:
+    """Run every lint family over the tree rooted at ``root``.
+
+    ``select`` keeps only the named rule families; ``ignore`` drops them
+    (both accept repeated and comma-separated names).  Unknown rule names
+    raise :class:`ValueError`.  Findings are annotated with the inferred
+    effect of their enclosing function (see :mod:`repro.sanitize.effects`).
+    """
+    from repro.sanitize import (
+        arch_lint,
+        convention_lint,
+        effect_lint,
+        effects,
+        protocol_lint,
+    )
+
+    selected = validate_rules(select, "--select")
+    ignored = validate_rules(ignore, "--ignore")
 
     base = Path(root) if root is not None else package_root()
+    analysis = effects.analyze(base)
     findings: list[LintFinding] = []
     findings.extend(protocol_lint.run(base))
     findings.extend(convention_lint.run(base))
     findings.extend(arch_lint.run(base))
+    findings.extend(effect_lint.run(base, analysis))
+    findings = _apply_noqa(findings, base)
+    findings = [
+        replace(f, effect=analysis.effect_at(f.path, f.line))
+        for f in findings
+    ]
+    if selected:
+        findings = [f for f in findings if f.rule in selected]
+    if ignored:
+        findings = [f for f in findings if f.rule not in ignored]
     return sorted(findings)

@@ -30,6 +30,7 @@ from pathlib import Path
 from repro.sanitize.lint import (
     LintFinding,
     attribute_chain,
+    if_chains,
     iter_py_files,
     parse_file,
     rel,
@@ -224,23 +225,6 @@ def _state_compares(
     return out
 
 
-def _if_chains(fn: ast.FunctionDef) -> list[tuple[list[ast.If], list[ast.stmt]]]:
-    """Every if/elif chain in ``fn`` as (arms, final-orelse)."""
-    chains = []
-    elif_nodes: set[int] = set()
-    for node in ast.walk(fn):
-        if not isinstance(node, ast.If) or id(node) in elif_nodes:
-            continue
-        arms = [node]
-        cur = node
-        while len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
-            cur = cur.orelse[0]
-            elif_nodes.add(id(cur))
-            arms.append(cur)
-        chains.append((arms, cur.orelse))
-    return chains
-
-
 def _check_state_machine(
     tree: ast.Module, class_name: str, relpath: str
 ) -> list[LintFinding]:
@@ -256,7 +240,7 @@ def _check_state_machine(
         if not isinstance(fn, ast.FunctionDef):
             continue
         state_vars = _state_var_names(fn)
-        for arms, final_orelse in _if_chains(fn):
+        for arms, final_orelse in if_chains(fn):
             matched: set[str] = set()
             involves_state = False
             for arm in arms:

@@ -230,7 +230,13 @@ class MulticoreSimulator:
                 bank.l3.insert(line)
 
     def run(self, max_cycles: int = 50_000_000) -> RunResult:
-        """Simulate until every core finished its trace (and drained)."""
+        """Simulate until every core finished its trace (and drained).
+
+        This is the anchor of the `determinism` effect rule: nothing
+        reachable from here may be NONDET (host clock, unseeded
+        randomness, unordered set iteration) — the static counterpart of
+        the golden bit-identity gate.
+        """
         engine = self.engine
         cores = self.cores
         if self.quiesce:

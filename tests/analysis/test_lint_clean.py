@@ -166,3 +166,120 @@ class TestSeededDefects:
         assert main(["lint", "--root", str(root)]) == 1
         out = capsys.readouterr().out
         assert "float-cycles" in out and "finding" in out
+
+
+FLOAT_DEFECT = (
+    "memory/controller.py",
+    "self.engine.schedule_in(1, replay)",
+    "self.engine.schedule_in(1.5, replay)",
+)
+
+
+class TestRuleFiltering:
+    def test_select_keeps_only_named_family(self, tmp_path):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        mutate(
+            tmp_path,
+            "sim/engine.py",
+            "import heapq",
+            "import heapq\nimport time",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert {"float-cycles", "wallclock"} <= rules
+        assert {f.rule for f in run_lint(root, select=["float-cycles"])} == {
+            "float-cycles"
+        }
+
+    def test_ignore_drops_named_family(self, tmp_path):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        assert not [
+            f for f in run_lint(root, ignore=["float-cycles"])
+            if f.rule == "float-cycles"
+        ]
+
+    def test_comma_separated_and_repeated(self, tmp_path):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        selected = run_lint(root, select=["float-cycles,wallclock"])
+        assert {f.rule for f in selected} == {"float-cycles"}
+
+    def test_unknown_rule_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint(select=["no-such-rule"])
+
+    def test_cli_unknown_rule_exit_two(self, capsys):
+        assert main(["lint", "--select", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_select_on_defect_tree(self, tmp_path, capsys):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        assert main(
+            ["lint", "--root", str(root), "--select", "arch-import"]
+        ) == 0
+        assert main(
+            ["lint", "--root", str(root), "--select", "float-cycles"]
+        ) == 1
+
+
+class TestNoqaSuppression:
+    def test_noqa_silences_finding(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "self.engine.schedule_in(1, replay)",
+            "self.engine.schedule_in(1.5, replay)"
+            "  # repro: noqa[float-cycles]",
+        )
+        findings = run_lint(root)
+        assert not [f for f in findings if f.rule == "float-cycles"]
+        assert not [f for f in findings if f.rule == "unused-suppression"]
+
+    def test_unused_noqa_is_flagged(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "self.engine.schedule_in(1, replay)",
+            "self.engine.schedule_in(1, replay)"
+            "  # repro: noqa[float-cycles]",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "unused-suppression"
+        ]
+        assert findings and "float-cycles" in findings[0].message
+
+    def test_noqa_for_other_rule_does_not_silence(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "memory/controller.py",
+            "self.engine.schedule_in(1, replay)",
+            "self.engine.schedule_in(1.5, replay)"
+            "  # repro: noqa[wallclock]",
+        )
+        rules = {f.rule for f in run_lint(root)}
+        assert "float-cycles" in rules
+        assert "unused-suppression" in rules
+
+
+class TestFindingEffects:
+    def test_json_findings_carry_enclosing_effect(self, tmp_path, capsys):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        assert main(["lint", "--root", str(root), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        hits = [f for f in payload if f["rule"] == "float-cycles"]
+        assert hits
+        # schedule_in(1.5, ...) sits inside a controller method that
+        # mutates simulation state.
+        assert hits[0]["effect"] == "mutates_sim"
+
+
+class TestCheckLintOnly:
+    def test_clean_exit_zero_and_budget_line(self, capsys):
+        assert main(["check", "--lint-only"]) == 0
+        out = capsys.readouterr().out
+        assert "lint clean" in out
+        assert "lint wall-clock" in out and "budget" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = mutate(tmp_path, *FLOAT_DEFECT)
+        assert main(["check", "--lint-only", "--root", str(root)]) == 1
