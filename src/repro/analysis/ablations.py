@@ -7,28 +7,28 @@ degradation by 0.3% on average compared to eager"), the 4-bit counters, the
 16-entry AQ it inherits from Free Atomics, and the +2/−1 update policy it
 mentions evaluating and rejecting.  These functions measure each choice.
 
-Like the figure functions, every ablation accepts ``runner=`` and
-prefetches its full job grid, so ``Runner(jobs=N, cache_dir=...)`` fans
-the sweep out and reuses previously computed points.
+Like the figure functions, every ablation is a reader over a committed
+campaign spec in ``campaigns/`` (expanded through
+:mod:`repro.service.planner` and batch-run before any result is read), so
+``repro campaign run campaigns/ablation_*.yaml`` — locally or through
+``repro serve`` — warms exactly the cells these functions consume.  The
+sweep keyword arguments (``entries_sweep=``, ``widths=``, ...) rebuild
+the campaign's axes in memory when they differ from the committed
+defaults.  Pass ``runner=Runner(jobs=N, cache_dir=...)`` to fan the grid
+out and reuse previously computed points.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.analysis.report import FigureData
-from repro.analysis.parallel import Runner, RunSpec, get_default_runner
+from repro.analysis.parallel import Runner, get_default_runner
 from repro.analysis.runner import (
     ExperimentScale,
     base_params,
     config,
     default_scale,
 )
-from repro.common.params import (
-    AtomicMode,
-    DetectionMode,
-    PredictorKind,
-)
+from repro.common.params import AtomicMode
 from repro.common.stats import geomean
 from repro.sim.multicore import MulticoreSimulator
 from repro.workloads.profiles import WorkloadProfile, get_profile
@@ -68,6 +68,41 @@ def _runner(runner: Runner | None) -> Runner:
     return runner if runner is not None else get_default_runner()
 
 
+def _planner():
+    # Lazy import: the service layer imports repro.analysis at module
+    # level, so pulling it in eagerly here would be circular.
+    from repro.service import planner
+
+    return planner
+
+
+def _campaign(name: str):
+    from repro.service.schema import load_named_campaign
+
+    return load_named_campaign(name)
+
+
+def _label(workload) -> str:
+    return workload if isinstance(workload, str) else workload.name
+
+
+def _sat_sweep_configs(field: str, values) -> list:
+    """Eager baseline + one RW+Dir_Sat config per swept RowParams value."""
+    from repro.service.schema import ConfigSpec
+
+    short = {"predictor_entries": "entries", "counter_bits": "bits"}[field]
+    return [ConfigSpec(name="eager", mode="eager")] + [
+        ConfigSpec(
+            name=f"{short}_{value}",
+            mode="row",
+            detection="rw+dir",
+            predictor="sat",
+            row={field: value},
+        )
+        for value in values
+    ]
+
+
 def predictor_entries_ablation(
     scale: ExperimentScale | None = None,
     entries_sweep: tuple[int, ...] = (1, 4, 16, 64, 256),
@@ -76,23 +111,25 @@ def predictor_entries_ablation(
 ) -> FigureData:
     """Predictor size vs aliasing (Sec. IV-D's 64-entry choice)."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    sat = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
-    configs = [
-        replace(sat, row=replace(sat.row, predictor_entries=entries))
-        for entries in entries_sweep
-    ]
-    all_workloads = workloads + (mixed_alias_profile(),)
-    runner.prefetch(RunSpec.grid(all_workloads, [eager] + configs, scale))
+    planner = _planner()
+    camp = _campaign("ablation_predictor_entries")
+    if tuple(workloads) != ABLATION_WORKLOADS:
+        camp = camp.with_workloads(tuple(workloads) + (mixed_alias_profile(),))
+    if tuple(entries_sweep) != (1, 4, 16, 64, 256):
+        camp = camp.with_configs(
+            _sat_sweep_configs("predictor_entries", entries_sweep)
+        )
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager = configs.pop("eager")
     fig = FigureData(
         "Ablation-A",
         "RoW (RW+Dir_Sat) vs predictor table size (normalized to eager)",
-        ["workload"] + [f"entries_{n}" for n in entries_sweep],
+        ["workload"] + list(configs),
     )
-    for wl in all_workloads:
-        row: list[object] = [wl if isinstance(wl, str) else wl.name]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
@@ -115,21 +152,23 @@ def counter_width_ablation(
 ) -> FigureData:
     """Saturating-counter width: hysteresis depth vs adaptability."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    sat = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
-    configs = [
-        replace(sat, row=replace(sat.row, counter_bits=bits)) for bits in widths
-    ]
-    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
+    planner = _planner()
+    camp = _campaign("ablation_counter_width")
+    if tuple(workloads) != ABLATION_WORKLOADS:
+        camp = camp.with_workloads(workloads)
+    if tuple(widths) != (1, 2, 4, 6):
+        camp = camp.with_configs(_sat_sweep_configs("counter_bits", widths))
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager = configs.pop("eager")
     fig = FigureData(
         "Ablation-B",
         "RoW (RW+Dir_Sat) vs counter width in bits (normalized to eager)",
-        ["workload"] + [f"bits_{b}" for b in widths],
+        ["workload"] + list(configs),
     )
-    for wl in workloads:
-        row: list[object] = [wl]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
@@ -152,21 +191,21 @@ def predictor_policy_comparison(
     aside ("observed that the up/down and saturate predictors reach higher
     performance benefits")."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    kinds = (PredictorKind.UPDOWN, PredictorKind.SATURATE, PredictorKind.PLUS2MINUS1)
-    configs = [
-        config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind) for kind in kinds
-    ]
-    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
+    planner = _planner()
+    camp = _campaign("ablation_predictor_policy")
+    if tuple(workloads) != ABLATION_WORKLOADS:
+        camp = camp.with_workloads(workloads)
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager = configs.pop("eager")
     fig = FigureData(
         "Ablation-C",
         "Predictor update policies with RW+Dir detection (normalized to eager)",
-        ["workload"] + [k.value for k in kinds],
+        ["workload"] + list(configs),
     )
-    for wl in workloads:
-        row: list[object] = [wl]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
@@ -174,6 +213,23 @@ def predictor_policy_comparison(
         agg.append(geomean([r[i] for r in fig.rows]))
     fig.add_row(*agg)
     return fig
+
+
+def _depth_sweep_configs(mode: str, field: str, prefix: str, depths) -> list:
+    """Baseline + one config per swept SystemParams depth value."""
+    from repro.service.schema import ConfigSpec
+
+    baseline_depth = {"aq_entries": 16, "sb_entries": 32}[field]
+    return [
+        ConfigSpec(
+            name=f"baseline_{prefix}{baseline_depth}",
+            mode=mode,
+            params={field: baseline_depth},
+        )
+    ] + [
+        ConfigSpec(name=f"{prefix}_{d}", mode=mode, params={field: d})
+        for d in depths
+    ]
 
 
 def aq_depth_ablation(
@@ -185,21 +241,25 @@ def aq_depth_ablation(
     """Atomic Queue depth: how many in-flight atomics the unfenced baseline
     needs (Free Atomics uses 16)."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    baseline = config(replace(base, aq_entries=16), AtomicMode.EAGER)
-    configs = [
-        config(replace(base, aq_entries=depth), AtomicMode.EAGER)
-        for depth in depths
-    ]
-    runner.prefetch(RunSpec.grid(workloads, [baseline] + configs, scale))
+    planner = _planner()
+    camp = _campaign("ablation_aq_depth")
+    if tuple(workloads) != ("canneal", "freqmine", "pc"):
+        camp = camp.with_workloads(workloads)
+    if tuple(depths) != (1, 2, 4, 8, 16):
+        camp = camp.with_configs(
+            _depth_sweep_configs("eager", "aq_entries", "aq", depths)
+        )
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    baseline = configs.pop("baseline_aq16")
     fig = FigureData(
         "Ablation-D",
         "Eager execution vs AQ depth (normalized to the 16-entry AQ)",
-        ["workload"] + [f"aq_{d}" for d in depths],
+        ["workload"] + list(configs),
     )
-    for wl in workloads:
-        row: list[object] = [wl]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, baseline, scale))
         fig.add_row(*row)
     fig.notes.append(
@@ -219,21 +279,25 @@ def sb_depth_ablation(
     a deeper SB (more buffered stores) lengthens every lazy atomic's
     dispatch-to-issue wait, while eager execution mostly ignores it."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    baseline = config(replace(base, sb_entries=32), AtomicMode.LAZY)
-    configs = [
-        config(replace(base, sb_entries=depth), AtomicMode.LAZY)
-        for depth in depths
-    ]
-    runner.prefetch(RunSpec.grid(workloads, [baseline] + configs, scale))
+    planner = _planner()
+    camp = _campaign("ablation_sb_depth")
+    if tuple(workloads) != ("canneal", "pc"):
+        camp = camp.with_workloads(workloads)
+    if tuple(depths) != (4, 8, 16, 32):
+        camp = camp.with_configs(
+            _depth_sweep_configs("lazy", "sb_entries", "sb", depths)
+        )
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    baseline = configs.pop("baseline_sb32")
     fig = FigureData(
         "Ablation-E",
         "Lazy execution vs SB depth (normalized to the 32-entry SB)",
-        ["workload"] + [f"sb_{d}" for d in depths],
+        ["workload"] + list(configs),
     )
-    for wl in workloads:
-        row: list[object] = [wl]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, baseline, scale))
         fig.add_row(*row)
     fig.notes.append(
@@ -285,34 +349,63 @@ def oracle_schedule_ablation(
     """Two-pass oracle upper bound on per-PC atomic scheduling.
 
     Pass 1 profiles each workload (eager, first seed) and collects the set
-    of truly contended atomic PCs; pass 2 replays with
-    ``AtomicMode.ORACLE`` so exactly those PCs execute lazy.  The gap
-    between RoW and the oracle is the headroom left to the predictor;
-    the gap between the oracle and all-lazy is what indiscriminate
-    laziness costs."""
+    of truly contended atomic PCs; pass 2 builds a per-workload campaign
+    whose oracle config carries those PCs as a ``row:`` override, so
+    exactly those PCs execute lazy.  The per-run campaigns are programmatic
+    (the PC sets only exist at runtime) but expand through the same
+    planner as the committed specs.  The gap between RoW and the oracle is
+    the headroom left to the predictor; the gap between the oracle and
+    all-lazy is what indiscriminate laziness costs."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    lazy = config(base, AtomicMode.LAZY)
-    row = config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE)
+    planner = _planner()
+    from repro.service.schema import (
+        Campaign,
+        ConfigSpec,
+        GridSpec,
+        as_workload_spec,
+    )
+
+    profiling_params = config(base_params(scale), AtomicMode.EAGER)
     fig = FigureData(
         "Ablation-F",
         "Profile-guided oracle vs realizable policies (normalized to eager)",
         ["workload", "lazy", "row", "oracle", "oracle_pcs"],
     )
     for wl in workloads:
-        pcs = collect_contended_pcs(wl, eager, scale, seed=scale.seeds[0])
-        oracle = replace(
-            eager,
-            atomic_mode=AtomicMode.ORACLE,
-            row=replace(eager.row, oracle_contended_pcs=pcs),
+        pcs = collect_contended_pcs(
+            wl, profiling_params, scale, seed=scale.seeds[0]
         )
-        runner.prefetch(RunSpec.grid([wl], [eager, lazy, row, oracle], scale))
+        camp = Campaign(
+            name=f"oracle-{_label(wl)}",
+            grids=(
+                GridSpec(
+                    workloads=(as_workload_spec(wl),),
+                    configs=(
+                        ConfigSpec(name="eager", mode="eager"),
+                        ConfigSpec(name="lazy", mode="lazy"),
+                        ConfigSpec(
+                            name="row",
+                            mode="row",
+                            detection="rw+dir",
+                            predictor="sat",
+                        ),
+                        ConfigSpec(
+                            name="oracle",
+                            mode="oracle",
+                            row={"oracle_contended_pcs": pcs},
+                        ),
+                    ),
+                ),
+            ),
+        )
+        runner.run_many(planner.expand_campaign(camp, scale))
+        configs = planner.campaign_config_map(camp, scale)
+        eager = configs["eager"]
         fig.add_row(
-            wl,
-            runner.normalized_time(wl, lazy, eager, scale),
-            runner.normalized_time(wl, row, eager, scale),
-            runner.normalized_time(wl, oracle, eager, scale),
+            _label(wl),
+            runner.normalized_time(wl, configs["lazy"], eager, scale),
+            runner.normalized_time(wl, configs["row"], eager, scale),
+            runner.normalized_time(wl, configs["oracle"], eager, scale),
             len(pcs),
         )
     agg: list[object] = ["GEOMEAN"]

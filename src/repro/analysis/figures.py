@@ -1,13 +1,19 @@
 """Regeneration of every table and figure in the paper's evaluation.
 
-Each ``figureN`` function runs the simulations behind that figure and
-returns a :class:`FigureData` whose rows mirror the series the paper
-plots.  All runs go through a :class:`~repro.analysis.parallel.Runner`:
-pass ``runner=Runner(jobs=N, cache_dir=...)`` to fan the figure's
-(workload × config × seed) job grid across worker processes and persist
-results on disk; with no runner a shared serial, memory-only one is used.
-Every figure prefetches its full grid before reading any single result,
-so parallelism applies to the whole campaign, not one run at a time.
+Each ``figureN`` function is a thin reader over a *campaign*: the
+(workload × config × seed) grid behind the figure lives in a committed
+declarative spec under ``campaigns/`` (see :mod:`repro.service.schema`),
+the function loads it, expands it through the one shared grid expander
+(:mod:`repro.service.planner`) and batch-runs the cells through a
+:class:`~repro.analysis.parallel.Runner` before reading any single
+result.  Because ``repro campaign run campaigns/figN.yaml`` and ``repro
+serve`` expand the *same file* through the *same expander*, a campaign
+warmed through the service makes the figure function pure cache reads —
+and vice versa.
+
+Pass ``runner=Runner(jobs=N, cache_dir=...)`` to fan a figure's grid
+across worker processes and persist results; with no runner a shared
+serial, memory-only one is used.
 
 Absolute cycle counts differ from the paper — the substrate is a scaled
 Python timing model, not the authors' 32-core Sniper/GEMS testbed — but
@@ -17,27 +23,20 @@ reproduction target (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.common.params import (
-    AtomicMode,
-    DetectionMode,
-    PredictorKind,
-    SystemParams,
-)
+from dataclasses import replace
+
+from repro.common.params import AtomicMode, SystemParams
 from repro.common.stats import geomean
 from repro.analysis.report import FigureData
-from repro.analysis.parallel import Runner, RunSpec, get_default_runner
+from repro.analysis.parallel import Runner, get_default_runner
 from repro.analysis.runner import (
     ExperimentScale,
-    ROW_VARIANTS,
-    base_params,
-    config,
     default_scale,
     mean_over_seeds,
 )
-from repro.isa.instructions import AtomicOp
 from repro.row.cost import row_hardware_cost
 from repro.sim.multicore import simulate
-from repro.workloads.microbench import VARIANTS, build_microbench
+from repro.workloads.microbench import build_microbench
 from repro.workloads.profiles import FIGURE_ORDER, NON_ATOMIC_INTENSIVE
 
 ATOMIC_WORKLOADS: tuple[str, ...] = FIGURE_ORDER
@@ -52,6 +51,24 @@ def _runner(runner: Runner | None) -> Runner:
     return runner if runner is not None else get_default_runner()
 
 
+def _planner():
+    # Lazy import: the service layer imports repro.analysis at module
+    # level, so pulling it in eagerly here would be circular.
+    from repro.service import planner
+
+    return planner
+
+
+def _campaign(name: str):
+    from repro.service.schema import load_named_campaign
+
+    return load_named_campaign(name)
+
+
+def _label(workload) -> str:
+    return workload if isinstance(workload, str) else workload.name
+
+
 # ---------------------------------------------------------------------------
 # Fig. 1 — lazy vs eager normalized execution time
 # ---------------------------------------------------------------------------
@@ -61,17 +78,18 @@ def figure1(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    lazy = config(base, AtomicMode.LAZY)
-    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy), scale))
+    planner = _planner()
+    camp = _campaign("fig1")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager, lazy = configs["eager"], configs["lazy"]
     fig = FigureData(
         "Fig.1",
         "Normalized execution time of lazy vs eager atomics (lower favors lazy)",
         ["workload", "lazy/eager"],
     )
-    for wl in ATOMIC_WORKLOADS:
-        fig.add_row(wl, runner.normalized_time(wl, lazy, eager, scale))
+    for wl in planner.campaign_workloads(camp):
+        fig.add_row(_label(wl), runner.normalized_time(wl, lazy, eager, scale))
     ratios = [r[1] for r in fig.rows]
     fig.notes.append(
         f"geomean={geomean(ratios):.3f}; paper: canneal/freqmine strongly"
@@ -118,30 +136,39 @@ def legacy_core_params() -> SystemParams:
     )
 
 
+#: The single-core machine models behind the fig2 campaign's machine axis.
+MACHINE_PARAMS = {
+    "old-x86": legacy_core_params,
+    "new-x86": modern_core_params,
+}
+
+
 def figure2(
     scale: ExperimentScale | None = None,
     iterations: int | None = None,
     runner: Runner | None = None,
 ) -> FigureData:
     # Microbenchmark programs are built directly (not from a workload
-    # profile), so this figure runs in-process and is not disk-cached.
+    # profile), so this campaign is kind: microbench — it runs in-process
+    # and is not disk-cached.
     scale = _scale(scale)
-    if iterations is None:
-        iterations = {"smoke": 200, "quick": 600, "full": 1200, "paper": 3000}[
-            scale.name
-        ]
+    planner = _planner()
+    camp = _campaign("fig2")
+    jobs = planner.expand_microbench(camp, scale)
+    if iterations is not None:
+        jobs = [replace(job, iterations=iterations) for job in jobs]
     fig = FigureData(
         "Fig.2",
         "Microbenchmark cycles/iteration: RMW x {plain,lock} x {nofence,mfence}",
         ["machine", "op", "variant", "cycles_per_iter"],
     )
-    machines = [("old-x86", legacy_core_params()), ("new-x86", modern_core_params())]
-    for machine, params in machines:
-        for op in (AtomicOp.FAA, AtomicOp.CAS, AtomicOp.SWAP):
-            for variant in VARIANTS:
-                program = build_microbench(op, variant, iterations=iterations)
-                result = simulate(params, program)
-                fig.add_row(machine, op.value, variant, result.cycles / iterations)
+    params = {machine: MACHINE_PARAMS[machine]() for machine in camp.machines}
+    for job in jobs:
+        program = build_microbench(job.op, job.variant, iterations=job.iterations)
+        result = simulate(params[job.machine], program)
+        fig.add_row(
+            job.machine, job.op.value, job.variant, result.cycles / job.iterations
+        )
     fig.notes.append(
         "expected shape: old-x86 lock ~2x plain (built-in fence), mfence adds"
         " nothing on top; new-x86 lock ~ plain, explicit mfence several times"
@@ -159,23 +186,24 @@ def figure4(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    lazy = config(base, AtomicMode.LAZY)
-    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy), scale))
+    planner = _planner()
+    camp = _campaign("fig4")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager, lazy = configs["eager"], configs["lazy"]
     fig = FigureData(
         "Fig.4",
         "Independent instructions w.r.t. eager and lazy atomics",
         ["workload", "older_not_executed_at_eager_issue", "younger_started_at_lazy_issue"],
     )
-    for wl in ATOMIC_WORKLOADS:
+    for wl in planner.campaign_workloads(camp):
         older = mean_over_seeds(
             runner.run_seeds(wl, eager, scale), "older_unexecuted_mean"
         )
         younger = mean_over_seeds(
             runner.run_seeds(wl, lazy, scale), "younger_started_mean"
         )
-        fig.add_row(wl, older, younger)
+        fig.add_row(_label(wl), older, younger)
     fig.notes.append(
         "paper: ~48 older instructions pending on average at eager issue;"
         " tpcc/sps/pc start >50 younger instructions before a lazy atomic"
@@ -192,17 +220,19 @@ def figure5(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    eager = config(base_params(scale), AtomicMode.EAGER)
-    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, (eager,), scale))
+    planner = _planner()
+    camp = _campaign("fig5")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    eager = planner.campaign_config_map(camp, scale)["eager"]
     fig = FigureData(
         "Fig.5",
         "Atomics per 10k instructions and %% facing contention (eager)",
         ["workload", "atomics_per_10k", "contended_pct"],
     )
-    for wl in ATOMIC_WORKLOADS:
+    for wl in planner.campaign_workloads(camp):
         runs = runner.run_seeds(wl, eager, scale)
         fig.add_row(
-            wl,
+            _label(wl),
             mean_over_seeds(runs, "atomics_per_10k"),
             100.0 * mean_over_seeds(runs, "contended_truth_frac"),
         )
@@ -218,23 +248,22 @@ def figure6(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    modes = (AtomicMode.EAGER, AtomicMode.LAZY)
-    runner.prefetch(
-        RunSpec.grid(ATOMIC_WORKLOADS, [config(base, m) for m in modes], scale)
-    )
+    planner = _planner()
+    camp = _campaign("fig6")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
     fig = FigureData(
         "Fig.6",
         "Atomic latency breakdown (cycles): dispatch->issue, issue->lock, lock->unlock",
         ["workload", "mode", "dispatch_to_issue", "issue_to_lock", "lock_to_unlock"],
     )
-    for wl in ATOMIC_WORKLOADS:
-        for mode in modes:
-            runs = runner.run_seeds(wl, config(base, mode), scale)
+    for wl in planner.campaign_workloads(camp):
+        for mode, cfg in configs.items():
+            runs = runner.run_seeds(wl, cfg, scale)
             d2i = sum(m.breakdown["dispatch_to_issue"] for m in runs) / len(runs)
             i2l = sum(m.breakdown["issue_to_lock"] for m in runs) / len(runs)
             l2u = sum(m.breakdown["lock_to_unlock"] for m in runs) / len(runs)
-            fig.add_row(wl, mode.value, d2i, i2l, l2u)
+            fig.add_row(_label(wl), mode, d2i, i2l, l2u)
     fig.notes.append(
         "paper: lazy trades a long dispatch->issue wait for a minimal lock"
         " window; eager's issue->lock explodes on contended workloads"
@@ -253,23 +282,28 @@ def figure9(
     runner: Runner | None = None,
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    lazy = config(base, AtomicMode.LAZY)
+    planner = _planner()
+    camp = _campaign("fig9")
+    if tuple(workloads) != ATOMIC_WORKLOADS:
+        camp = camp.with_workloads(workloads)
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager, lazy = configs["eager"], configs["lazy"]
     variants = [
-        config(base, AtomicMode.ROW, detection, predictor)
-        for _, detection, predictor in ROW_VARIANTS
+        (name, cfg) for name, cfg in configs.items()
+        if name not in ("eager", "lazy")
     ]
-    runner.prefetch(RunSpec.grid(workloads, [eager, lazy] + variants, scale))
-    columns = ["workload", "eager", "lazy"] + [name for name, _, _ in ROW_VARIANTS]
+    columns = ["workload", "eager", "lazy"] + [name for name, _ in variants]
     fig = FigureData(
         "Fig.9",
         "Normalized execution time of RoW variants vs eager/lazy (no forwarding)",
         columns,
     )
-    for wl in workloads:
-        row: list[object] = [wl, 1.0, runner.normalized_time(wl, lazy, eager, scale)]
-        for cfg in variants:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [
+            _label(wl), 1.0, runner.normalized_time(wl, lazy, eager, scale)
+        ]
+        for _, cfg in variants:
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     # Aggregate row (geomean across workloads).
@@ -284,36 +318,47 @@ def figure9(
 # Fig. 10 — Dir latency-threshold sensitivity
 # ---------------------------------------------------------------------------
 
+_FIG10_THRESHOLDS: tuple[int | None, ...] = (0, 40, 120, 400, 2000, None)
+
 
 def figure10(
     scale: ExperimentScale | None = None,
     workloads: tuple[str, ...] = ATOMIC_WORKLOADS,
-    thresholds: tuple[int | None, ...] = (0, 40, 120, 400, 2000, None),
+    thresholds: tuple[int | None, ...] = _FIG10_THRESHOLDS,
     runner: Runner | None = None,
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    configs = [
-        config(
-            base,
-            AtomicMode.ROW,
-            DetectionMode.RW_DIR,
-            PredictorKind.SATURATE,
-            latency_threshold=thr,
+    planner = _planner()
+    camp = _campaign("fig10")
+    if tuple(workloads) != ATOMIC_WORKLOADS:
+        camp = camp.with_workloads(workloads)
+    if tuple(thresholds) != _FIG10_THRESHOLDS:
+        from repro.service.schema import ConfigSpec
+
+        camp = camp.with_configs(
+            [camp.grids[0].configs[0]]  # the eager baseline
+            + [
+                ConfigSpec(
+                    name=f"thr_{'inf' if thr is None else thr}",
+                    mode="row",
+                    detection="rw+dir",
+                    predictor="sat",
+                    latency_threshold=thr,
+                )
+                for thr in thresholds
+            ]
         )
-        for thr in thresholds
-    ]
-    runner.prefetch(RunSpec.grid(workloads, [eager] + configs, scale))
-    names = ["inf" if t is None else str(t) for t in thresholds]
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager = configs.pop("eager")
     fig = FigureData(
         "Fig.10",
         "Sensitivity of RW+Dir (Sat) to the latency threshold (normalized to eager)",
-        ["workload"] + [f"thr_{n}" for n in names],
+        ["workload"] + list(configs),
     )
-    for wl in workloads:
-        row: list[object] = [wl]
-        for cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
@@ -337,30 +382,18 @@ def figure11(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    configs = [
-        ("eager", config(base, AtomicMode.EAGER)),
-        ("lazy", config(base, AtomicMode.LAZY)),
-        (
-            "RW+Dir_U/D",
-            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.UPDOWN),
-        ),
-        (
-            "RW+Dir_Sat",
-            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE),
-        ),
-    ]
-    runner.prefetch(
-        RunSpec.grid(ATOMIC_WORKLOADS, [cfg for _, cfg in configs], scale)
-    )
+    planner = _planner()
+    camp = _campaign("fig11")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
     fig = FigureData(
         "Fig.11",
         "Average L1D miss latency (cycles) for all memory instructions",
-        ["workload"] + [name for name, _ in configs],
+        ["workload"] + list(configs),
     )
-    for wl in ATOMIC_WORKLOADS:
-        row: list[object] = [wl]
-        for _, cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(
                 mean_over_seeds(runner.run_seeds(wl, cfg, scale), "miss_latency")
             )
@@ -381,24 +414,22 @@ def figure12(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    kinds = (PredictorKind.UPDOWN, PredictorKind.SATURATE)
-    configs = [
-        config(base, AtomicMode.ROW, DetectionMode.RW_DIR, kind) for kind in kinds
-    ]
-    runner.prefetch(RunSpec.grid(ATOMIC_WORKLOADS, configs, scale))
+    planner = _planner()
+    camp = _campaign("fig12")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
     fig = FigureData(
         "Fig.12",
         "Contention-prediction accuracy of RoW (RW+Dir detection)",
         ["workload", "U/D", "Sat"],
     )
-    for wl in ATOMIC_WORKLOADS:
+    for wl in planner.campaign_workloads(camp):
         accs = []
-        for cfg in configs:
+        for cfg in configs.values():
             accs.append(
                 mean_over_seeds(runner.run_seeds(wl, cfg, scale), "accuracy")
             )
-        fig.add_row(wl, *accs)
+        fig.add_row(_label(wl), *accs)
     ud = [r[1] for r in fig.rows]
     sat = [r[2] for r in fig.rows]
     fig.add_row("MEAN", sum(ud) / len(ud), sum(sat) / len(sat))
@@ -417,51 +448,19 @@ def figure13(
     scale: ExperimentScale | None = None, runner: Runner | None = None
 ) -> FigureData:
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    configs = [
-        ("lazy", config(base, AtomicMode.LAZY)),
-        ("eager+fwd", config(base, AtomicMode.EAGER, forwarding=True)),
-        (
-            "RW+Dir_U/D",
-            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.UPDOWN),
-        ),
-        (
-            "RW+Dir_U/D+fwd",
-            config(
-                base,
-                AtomicMode.ROW,
-                DetectionMode.RW_DIR,
-                PredictorKind.UPDOWN,
-                forwarding=True,
-            ),
-        ),
-        (
-            "RW+Dir_Sat",
-            config(base, AtomicMode.ROW, DetectionMode.RW_DIR, PredictorKind.SATURATE),
-        ),
-        (
-            "RW+Dir_Sat+fwd",
-            config(
-                base,
-                AtomicMode.ROW,
-                DetectionMode.RW_DIR,
-                PredictorKind.SATURATE,
-                forwarding=True,
-            ),
-        ),
-    ]
-    runner.prefetch(
-        RunSpec.grid(ATOMIC_WORKLOADS, [eager] + [cfg for _, cfg in configs], scale)
-    )
+    planner = _planner()
+    camp = _campaign("fig13")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale)
+    eager = configs.pop("eager")
     fig = FigureData(
         "Fig.13",
         "Normalized execution time with store->atomic forwarding enabled",
-        ["workload"] + [name for name, _ in configs],
+        ["workload"] + list(configs),
     )
-    for wl in ATOMIC_WORKLOADS:
-        row: list[object] = [wl]
-        for _, cfg in configs:
+    for wl in planner.campaign_workloads(camp):
+        row: list[object] = [_label(wl)]
+        for cfg in configs.values():
             row.append(runner.normalized_time(wl, cfg, eager, scale))
         fig.add_row(*row)
     agg: list[object] = ["GEOMEAN"]
@@ -509,27 +508,15 @@ def headline(
 ) -> FigureData:
     """RoW's summary claims: vs eager / vs lazy / all-applications."""
     scale, runner = _scale(scale), _runner(runner)
-    base = base_params(scale)
-    eager = config(base, AtomicMode.EAGER)
-    lazy = config(base, AtomicMode.LAZY)
-    best = config(
-        base,
-        AtomicMode.ROW,
-        DetectionMode.RW_DIR,
-        PredictorKind.UPDOWN,
-        forwarding=True,
-    )
-    best_sat = config(
-        base,
-        AtomicMode.ROW,
-        DetectionMode.RW_DIR,
-        PredictorKind.SATURATE,
-        forwarding=True,
-    )
-    runner.prefetch(
-        RunSpec.grid(ATOMIC_WORKLOADS, (eager, lazy, best, best_sat), scale)
-        + RunSpec.grid(tuple(NON_ATOMIC_INTENSIVE), (eager, best), scale)
-    )
+    planner = _planner()
+    camp = _campaign("headline")
+    runner.run_many(planner.expand_campaign(camp, scale))
+    configs = planner.campaign_config_map(camp, scale, grid=0)
+    eager, lazy = configs["eager"], configs["lazy"]
+    best = configs["RW+Dir_U/D+fwd"]
+    best_sat = configs["RW+Dir_Sat+fwd"]
+    atomic_wls = planner.campaign_workloads(camp, grid=0)
+    all_wls = atomic_wls + planner.campaign_workloads(camp, grid=1)
     fig = FigureData(
         "Headline",
         "RoW summary claims (reductions in execution time)",
@@ -545,12 +532,12 @@ def headline(
         return avg, best_red
 
     for label, cfg in (("RW+Dir_U/D+fwd", best), ("RW+Dir_Sat+fwd", best_sat)):
-        avg, mx = reduction(cfg, eager, ATOMIC_WORKLOADS)
+        avg, mx = reduction(cfg, eager, atomic_wls)
         fig.add_row(f"{label} vs eager (atomic-intensive, avg)", "9.2%", f"{100*avg:.1f}%")
         fig.add_row(f"{label} vs eager (max)", "43%", f"{100*mx:.1f}%")
-        avg_l, _ = reduction(cfg, lazy, ATOMIC_WORKLOADS)
+        avg_l, _ = reduction(cfg, lazy, atomic_wls)
         fig.add_row(f"{label} vs lazy (avg)", "8.5%", f"{100*avg_l:.1f}%")
-    avg_all, _ = reduction(best, eager, ALL_WORKLOADS)
+    avg_all, _ = reduction(best, eager, all_wls)
     fig.add_row("RW+Dir_U/D+fwd vs eager (all apps)", "4.0%", f"{100*avg_all:.1f}%")
     return fig
 

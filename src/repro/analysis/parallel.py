@@ -35,15 +35,23 @@ from dataclasses import dataclass, field
 from repro import __version__ as _ENGINE_VERSION
 from repro.analysis.runner import ExperimentScale, RunMetrics
 from repro.common.params import SystemParams
+from repro.common.schema import CACHE_SCHEMA_VERSION
 from repro.common.stats import geomean
 from repro.sim.multicore import simulate
 from repro.workloads.profiles import WorkloadProfile, get_profile
 from repro.workloads.synthetic import build_program
 
-#: Bump when the cache file layout (not the simulator) changes.
-#: v2: RunMetrics gained ``breakdown_detail``; all cache writes are strict
-#: JSON (``allow_nan=False``, empty-accumulator min/max as null).
-CACHE_SCHEMA_VERSION = 2
+__all__ = [
+    "CACHE_SCHEMA_VERSION",  # re-exported from repro.common.schema
+    "RunSpec",
+    "Runner",
+    "RunnerError",
+    "RunnerStats",
+    "default_cache_dir",
+    "execute_spec",
+    "get_default_runner",
+    "reset_default_runner",
+]
 
 
 class RunnerError(RuntimeError):
@@ -313,56 +321,81 @@ class Runner:
                 self.stats.retries += 1
         raise AssertionError("unreachable")
 
-    def run_many(self, specs) -> list[RunMetrics]:
-        """Run a batch of jobs, fanning cache misses across the pool.
+    def run_stream(self, specs):
+        """The job-source primitive: yield ``(spec, metrics, source)`` for
+        each *unique* spec, as results become available.
 
-        Results come back in input order.  Jobs already present in the
-        cache are not re-executed — re-invoking an interrupted sweep
-        resumes where it left off.
+        ``source`` is ``"memo"``, ``"disk"`` or ``"sim"``.  All cache hits
+        are yielded first (the dedup/resume scan), then misses stream in as
+        the pool finishes them.  Closing the generator mid-stream (e.g. a
+        service shutting down) abandons the not-yet-finished jobs; every
+        yielded result is already admitted to the memo and disk cache, so a
+        later identical stream resumes as hits.
         """
-        specs = list(specs)
-        results: dict[RunSpec, RunMetrics] = {}
         misses: list[RunSpec] = []
-        pending: set[RunSpec] = set()
+        seen: set[RunSpec] = set()
         for spec in specs:
-            if spec in results or spec in pending:
+            if spec in seen:
                 continue
+            seen.add(spec)
             hit = self._memo.get(spec)
             if hit is not None:
                 self.stats.memo_hits += 1
-                results[spec] = hit
+                yield spec, hit, "memo"
                 continue
             cached = self._cache_load(spec)
             if cached is not None:
                 self.stats.disk_hits += 1
                 self._memo[spec] = cached
-                results[spec] = cached
+                yield spec, cached, "disk"
             else:
-                pending.add(spec)
                 misses.append(spec)
+        if not misses:
+            return
+        if self.jobs == 1 or len(misses) == 1:
+            for spec in misses:
+                metrics = self._execute_with_retry(spec)
+                self._admit(spec, metrics)
+                yield spec, metrics, "sim"
+        else:
+            for spec, metrics in self._run_pool(misses):
+                self._admit(spec, metrics)
+                yield spec, metrics, "sim"
 
-        progress = _Progress(
-            total=len(specs),
-            done=len(specs) - len(misses),
-            enabled=self.progress,
-        )
-        progress.render()
+    def run_many(self, specs, on_result=None) -> list[RunMetrics]:
+        """Run a batch of jobs, fanning cache misses across the pool.
+
+        Results come back in input order.  Jobs already present in the
+        cache are not re-executed — re-invoking an interrupted sweep
+        resumes where it left off.  ``on_result(spec, metrics, source)``
+        is invoked once per unique spec as results arrive (the service
+        layer streams these as NDJSON progress events).
+        """
+        specs = list(specs)
+        results: dict[RunSpec, RunMetrics] = {}
+        progress: _Progress | None = None
         try:
-            if misses:
-                if self.jobs == 1 or len(misses) == 1:
-                    for spec in misses:
-                        results[spec] = self._execute_with_retry(spec)
-                        self._admit(spec, results[spec])
-                        progress.tick()
-                else:
-                    for spec, metrics in self._run_pool(misses, progress):
-                        results[spec] = metrics
-                        self._admit(spec, metrics)
+            for spec, metrics, source in self.run_stream(specs):
+                results[spec] = metrics
+                if on_result is not None:
+                    on_result(spec, metrics, source)
+                if source == "sim":
+                    if progress is None:
+                        # Hits all precede sims, so len(results)-1 is the
+                        # number of cached cells this batch started with.
+                        progress = _Progress(
+                            total=len(specs),
+                            done=len(results) - 1,
+                            enabled=self.progress,
+                        )
+                        progress.render()
+                    progress.tick()
         finally:
-            progress.finish()
+            if progress is not None:
+                progress.finish()
         return [results[spec] for spec in specs]
 
-    def _run_pool(self, misses, progress):
+    def _run_pool(self, misses):
         """Fan jobs across worker processes; retry crashed jobs.
 
         A worker that dies (e.g. OOM-killed) breaks the whole pool and
@@ -400,7 +433,6 @@ class Runner:
                         self.stats.retries += 1
                         retry_round.append(spec)
                         continue
-                    progress.tick()
                     yield spec, metrics
             finally:
                 executor.shutdown(wait=False, cancel_futures=True)

@@ -10,7 +10,7 @@ scales, the configuration builder for the paper's variants, and the
 the cache files use).
 
 The historical per-process API (``run_one``/``run_seeds``/``clear_cache``)
-remains as thin deprecated shims over a shared default Runner.
+has been removed; see the migration table in docs/api.md.
 """
 
 from __future__ import annotations
@@ -240,52 +240,6 @@ class RunMetrics:
 def mean_over_seeds(metrics: list[RunMetrics], attr: str) -> float:
     values = [getattr(m, attr) for m in metrics]
     return sum(values) / len(values) if values else 0.0
-
-
-# ---------------------------------------------------------------------------
-# Deprecated per-process API (thin shims over the shared default Runner)
-# ---------------------------------------------------------------------------
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} (see docs/api.md migration table)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def clear_cache() -> None:
-    """Deprecated: drop the shared default Runner (and its memo)."""
-    from repro.analysis.parallel import reset_default_runner
-
-    _deprecated("repro.analysis.runner.clear_cache()", "Runner.clear_memo()")
-    reset_default_runner()
-
-
-def run_one(
-    workload: str | WorkloadProfile,
-    params: SystemParams,
-    scale: ExperimentScale,
-    seed: int,
-) -> RunMetrics:
-    """Deprecated: use ``Runner.run(RunSpec.build(...))``."""
-    from repro.analysis.parallel import RunSpec, get_default_runner
-
-    _deprecated("run_one(...)", "Runner.run(RunSpec.build(...))")
-    return get_default_runner().run(RunSpec.build(workload, params, scale, seed))
-
-
-def run_seeds(
-    workload: str | WorkloadProfile,
-    params: SystemParams,
-    scale: ExperimentScale,
-) -> list[RunMetrics]:
-    """Deprecated: use ``Runner.run_seeds(...)``."""
-    from repro.analysis.parallel import get_default_runner
-
-    _deprecated("run_seeds(...)", "Runner.run_seeds(...)")
-    return get_default_runner().run_seeds(workload, params, scale)
 
 
 def normalized_time(

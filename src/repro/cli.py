@@ -4,6 +4,9 @@ Commands
 --------
 run        simulate one workload under one or more execution policies
 figure     regenerate one of the paper's figures/tables
+campaign   run or validate a declarative campaign spec (campaigns/*.yaml)
+serve      the sharded campaign service over HTTP (resumes on restart)
+client     submit/status/fetch against a running ``repro serve``
 microbench run the Sec. II-A fence microbenchmark
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
@@ -11,28 +14,34 @@ validate   check the paper's qualitative claims end to end
 profile    cProfile one simulation run (top-N by cumulative time)
 lint       static protocol/convention/architecture/effect lint
 effects    dump the interprocedural effect summary (and effect findings)
-check      lint + golden stats + perf smoke + tier-1 tests (the CI gate)
+check      lint + golden + perf + campaign gate + tier-1 tests (CI gate)
 
-``figure``, ``sweep`` and ``validate`` accept ``--jobs/-j N`` to fan the
-(workload × config × seed) job grid across worker processes, and
-``--cache-dir``/``--no-cache`` to control the persistent on-disk result
-cache (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  A warm cache
-re-renders a figure without running a single simulation.
+``figure``, ``campaign run``, ``sweep`` and ``validate`` accept
+``--jobs/-j N`` to fan the (workload × config × seed) job grid across
+worker processes, and ``--cache-dir``/``--no-cache`` to control the
+persistent on-disk result cache (default: ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``).  A warm cache re-renders a figure without running a
+single simulation — and because figures and campaign specs expand through
+the same planner, warming a campaign (locally or through the service)
+warms the figure too.
 
 Exit codes
 ----------
 The static-analysis commands (``lint``, ``effects``, ``check`` incl.
 ``--lint-only``) share one contract: **0** clean, **1** findings (or a
-failed gate), **2** usage error (unknown rule/effect name, bad flags).
+failed gate), **2** usage error (unknown rule/effect name, bad flags, or
+a malformed campaign spec).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
 
 from repro.analysis.figures import ALL_FIGURES
-from repro.analysis.parallel import Runner, RunSpec, default_cache_dir
+from repro.analysis.parallel import Runner, default_cache_dir
 from repro.analysis.report import render_table
 from repro.analysis.runner import default_scale
 from repro.common.params import AtomicMode, SystemParams
@@ -42,7 +51,7 @@ from repro.isa.serialize import load_program, save_program
 from repro.sim.multicore import simulate
 from repro.workloads.inspect import analyze_program
 from repro.workloads.microbench import VARIANTS, build_microbench
-from repro.workloads.profiles import WORKLOADS, get_profile
+from repro.workloads.profiles import WORKLOADS
 from repro.workloads.synthetic import build_program
 
 
@@ -310,9 +319,71 @@ def _check_perf_smoke() -> int:
 # gate rots and people stop running it.
 LINT_BUDGET_SECONDS = 10.0
 
+# Validating every committed campaign spec plus one end-to-end smoke
+# campaign through the in-process service must stay cheap; the e2e leg
+# runs a single smoke-scale cell.
+CAMPAIGN_BUDGET_SECONDS = 30.0
+
+
+def _check_campaigns() -> int:
+    """Validate committed campaign specs and e2e-run the smoke campaign."""
+    from repro.service import planner, schema
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.fabric import ShardPool
+    from repro.service.http import ServiceThread
+
+    spec_dir = schema.default_campaign_dir()
+    paths = sorted(spec_dir.glob("*.yaml"))
+    if not paths:
+        print(f"campaign gate failed: no specs found under {spec_dir}")
+        return 1
+    jobs = 0
+    for path in paths:
+        try:
+            campaign = schema.load_campaign(path)
+            if campaign.kind == "microbench":
+                jobs += len(planner.expand_microbench(campaign))
+            else:
+                jobs += len(planner.expand_campaign(campaign))
+        except schema.CampaignError as exc:
+            print(f"campaign gate failed: {path.name}: {exc}")
+            return 1
+    print(f"validated {len(paths)} campaign specs ({jobs} unique jobs)")
+
+    smoke = spec_dir / "smoke.yaml"
+    pool = ShardPool(Runner())
+    pool.start()
+    thread = ServiceThread(pool).start()
+    try:
+        client = ServiceClient(thread.url)
+        status = client.submit(smoke.read_text())
+        status = client.wait(status["id"], timeout=60)
+        if status["state"] != "done":
+            print(
+                "campaign gate failed: smoke campaign ended"
+                f" {status['state']}: {status.get('error', '?')}"
+            )
+            return 1
+        rows = client.results(status["id"])
+        if not rows:
+            print("campaign gate failed: smoke campaign produced no rows")
+            return 1
+        print(
+            f"smoke campaign e2e ok: {len(rows)} rows"
+            f" ({status['simulated']} simulated)"
+        )
+    except ServiceError as exc:
+        print(f"campaign gate failed: {exc}")
+        return 1
+    finally:
+        thread.stop()
+        pool.stop()
+    return 0
+
 
 def cmd_check(args) -> int:
-    """The CI gate: lint, golden bit-identity, perf smoke, tier-1 tests.
+    """The CI gate: lint, golden bit-identity, perf smoke, campaign
+    specs plus an e2e smoke campaign, tier-1 tests.
 
     Exit codes follow the lint contract: 0 all gates pass, 1 any gate
     fails (including the lint wall-clock budget), 2 usage error.
@@ -340,12 +411,26 @@ def cmd_check(args) -> int:
     golden_rc = _check_golden()
     print("== perf smoke ==")
     perf_rc = _check_perf_smoke()
+    print("== campaigns ==")
+    campaign_start = time.monotonic()
+    campaign_rc = _check_campaigns()
+    campaign_elapsed = time.monotonic() - campaign_start
+    print(
+        f"campaign wall-clock {campaign_elapsed:.2f}s "
+        f"(budget {CAMPAIGN_BUDGET_SECONDS:.0f}s)"
+    )
+    if campaign_elapsed > CAMPAIGN_BUDGET_SECONDS:
+        print(
+            "campaign budget exceeded: spec validation plus the smoke e2e"
+            " campaign should stay interactive-fast"
+        )
+        campaign_rc = campaign_rc or 1
     print("== tier-1 tests ==")
     cmd = [sys.executable, "-m", "pytest", "-x", "-q"] + (
         args.pytest_args or ["tests"]
     )
     test_rc = subprocess.call(cmd)
-    return lint_rc or golden_rc or perf_rc or test_rc
+    return lint_rc or golden_rc or perf_rc or campaign_rc or test_rc
 
 
 def cmd_figure(args) -> int:
@@ -358,6 +443,197 @@ def cmd_figure(args) -> int:
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(fig.render())
+    return 0
+
+
+DEFAULT_SERVE_URL = "http://127.0.0.1:8765"
+
+
+def _service_url(args) -> str:
+    return (
+        args.url
+        or os.environ.get("REPRO_SERVE_URL")
+        or DEFAULT_SERVE_URL
+    )
+
+
+def cmd_serve(args) -> int:
+    """Run the sharded campaign service (Ctrl-C to stop).
+
+    Campaign state persists under ``--state-dir`` (default
+    ``<cache-dir>/service``); on restart, campaigns that never reached
+    done/failed are requeued and their completed cells come back as disk
+    cache hits, so only the missing cells simulate.
+    """
+    from repro.service.fabric import ShardPool
+    from repro.service.http import run_service
+
+    runner = _runner(args)
+    state_dir = args.state_dir
+    if state_dir is None and runner.cache_dir is not None:
+        state_dir = runner.cache_dir / "service"
+    pool = ShardPool(runner, state_dir=state_dir)
+    pool.start()
+    for resumed in pool.resume_pending():
+        print(
+            f"repro serve: resumed campaign {resumed.campaign.name}"
+            f" ({resumed.id[:12]})"
+        )
+    run_service(pool, host=args.host, port=args.port)
+    return 0
+
+
+def _campaign_output(campaign, scale, runner) -> None:
+    """Render the spec's declared output from the now-warm cache."""
+    if campaign.output.kind == "figure" and campaign.output.id in ALL_FIGURES:
+        print(ALL_FIGURES[campaign.output.id](scale, runner=runner).render())
+    elif campaign.output.kind == "ablation":
+        from repro.analysis.ablations import ALL_ABLATIONS
+
+        if campaign.output.id in ALL_ABLATIONS:
+            print(ALL_ABLATIONS[campaign.output.id](scale, runner=runner).render())
+
+
+def _campaign_run_remote(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.remote)
+    try:
+        text = pathlib.Path(args.spec).read_text()
+    except OSError as exc:
+        raise UsageError(f"cannot read campaign spec {args.spec}: {exc}") from exc
+    try:
+        status = client.submit(text, scale=args.scale)
+        print(
+            f"submitted campaign {status['name']} ({status['id'][:12]},"
+            f" {status['total']} cells) to {args.remote}"
+        )
+        status = client.wait(status["id"], timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 1
+    if status["state"] != "done":
+        print(
+            f"campaign {status['name']} {status['state']}:"
+            f" {status.get('error', 'no error recorded')}",
+            file=sys.stderr,
+        )
+        return 1
+    rows = client.results(status["id"])
+    print(
+        f"campaign {status['name']} done: {len(rows)} result rows"
+        f" ({status['simulated']} simulated, {status['cache_hits']} cache"
+        " hits)"
+    )
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.service import planner, schema
+
+    if args.action == "validate":
+        rows = []
+        for path in args.specs:
+            try:
+                campaign = schema.load_campaign(path)
+                if campaign.kind == "microbench":
+                    jobs = len(planner.expand_microbench(campaign))
+                else:
+                    jobs = len(planner.expand_campaign(campaign))
+            except schema.CampaignError as exc:
+                raise UsageError(str(exc)) from exc
+            rows.append([path, campaign.name, campaign.kind, jobs])
+        print(
+            render_table(
+                "campaign specs",
+                ["spec", "name", "kind", "unique jobs"],
+                rows,
+            )
+        )
+        return 0
+    # action == "run"
+    if args.remote:
+        return _campaign_run_remote(args)
+    try:
+        campaign = schema.load_campaign(args.spec)
+    except schema.CampaignError as exc:
+        raise UsageError(str(exc)) from exc
+    try:
+        # An explicit --scale wins; else the spec's own scale; else quick.
+        scale = planner.campaign_scale(campaign, args.scale)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+    if campaign.kind == "microbench":
+        from repro.analysis.figures import MACHINE_PARAMS
+
+        jobs = planner.expand_microbench(campaign, scale)
+        params = {m: MACHINE_PARAMS[m]() for m in campaign.machines}
+        rows = []
+        for job in jobs:
+            program = build_microbench(
+                job.op, job.variant, iterations=job.iterations
+            )
+            result = simulate(params[job.machine], program)
+            rows.append([
+                job.machine, job.op.value, job.variant,
+                round(result.cycles / job.iterations, 2),
+            ])
+        print(
+            render_table(
+                f"campaign {campaign.name} ({len(jobs)} microbench jobs)",
+                ["machine", "op", "variant", "cycles/iter"],
+                rows,
+            )
+        )
+        _campaign_output(campaign, scale, None)
+        return 0
+    runner = _runner(args)
+    try:
+        specs = planner.expand_campaign(campaign, scale)
+    except schema.CampaignError as exc:
+        raise UsageError(str(exc)) from exc
+    runner.run_many(specs)
+    print(
+        f"campaign {campaign.name}: {len(specs)} unique cells at scale"
+        f" {scale.name}"
+    )
+    print(f"repro: {runner.summary()}", file=sys.stderr)
+    _campaign_output(campaign, scale, runner)
+    return 0
+
+
+def cmd_client(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(_service_url(args))
+    try:
+        if args.action == "submit":
+            try:
+                text = pathlib.Path(args.spec).read_text()
+            except OSError as exc:
+                raise UsageError(
+                    f"cannot read campaign spec {args.spec}: {exc}"
+                ) from exc
+            status = client.submit(text, scale=args.scale)
+            print(json.dumps(status, indent=2, sort_keys=True))
+            if args.wait:
+                status = client.wait(status["id"], timeout=args.timeout)
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0 if status["state"] == "done" else 1
+        elif args.action == "status":
+            if args.id:
+                print(json.dumps(client.status(args.id), indent=2, sort_keys=True))
+            else:
+                for status in client.list_campaigns():
+                    print(json.dumps(status, sort_keys=True))
+        else:  # fetch
+            for row in client.results(args.id):
+                print(json.dumps(row, sort_keys=True))
+    except ServiceError as exc:
+        print(f"repro client: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -399,35 +675,70 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    params = _params(args)
-    runner = _runner(args)
-    base_profile = get_profile(args.workload)
-    values = [float(v) for v in args.values.split(",")]
-    threads = min(args.threads, params.num_cores)
-    eager = params.with_atomic_mode(AtomicMode.EAGER)
-    lazy = params.with_atomic_mode(AtomicMode.LAZY)
-
-    def specs_for(value: float, config: SystemParams) -> list[RunSpec]:
-        profile = base_profile.with_overrides(
-            **{args.knob: value}, name=f"{args.workload}-sweep"
-        )
-        return [
-            RunSpec(profile, config, threads, args.instructions, seed)
-            for seed in range(args.seeds)
-        ]
-
-    # One flat job grid so --jobs fans the whole sweep out at once.
-    runner.prefetch(
-        [s for value in values for cfg in (eager, lazy)
-         for s in specs_for(value, cfg)]
+def _sweep_campaign(args):
+    """The sweep expressed as a campaign: one workload entry per knob
+    value, eager + lazy columns, explicit seeds/threads/instructions so
+    expansion is independent of the experiment scale."""
+    from repro.service.schema import (
+        Campaign,
+        ConfigSpec,
+        GridSpec,
+        WorkloadSpec,
     )
+
+    values = [float(v) for v in args.values.split(",")]
+    grid = GridSpec(
+        workloads=tuple(
+            WorkloadSpec(
+                base=args.workload,
+                name=f"{args.workload}-{args.knob}-{value:g}",
+                overrides={args.knob: value},
+            )
+            for value in values
+        ),
+        configs=(
+            ConfigSpec(name="eager", mode="eager"),
+            ConfigSpec(name="lazy", mode="lazy"),
+        ),
+        seeds=tuple(range(args.seeds)),
+        num_threads=args.threads,
+        instructions_per_thread=args.instructions,
+    )
+    campaign = Campaign(
+        name=f"sweep-{args.workload}-{args.knob}",
+        description=f"lazy/eager ratio of {args.workload} vs {args.knob}",
+        base=args.config,
+        grids=(grid,),
+    )
+    return campaign, values
+
+
+def cmd_sweep(args) -> int:
+    from repro.service import planner, schema
+
+    campaign, values = _sweep_campaign(args)
+    if args.emit_campaign:
+        schema.dump_campaign(campaign, args.emit_campaign)
+        jobs = len(planner.expand_campaign(campaign))
+        print(
+            f"wrote campaign spec {args.emit_campaign} ({jobs} unique jobs);"
+            f" run it with: repro campaign run {args.emit_campaign}"
+        )
+        return 0
+    runner = _runner(args)
+    cells = list(planner.iter_cells(campaign))
+    # One flat job grid so --jobs fans the whole sweep out at once.
+    runner.run_many([cell.spec for cell in cells])
+    cycles = {
+        (cell.workload_index, cell.config_name, cell.seed):
+            runner.run(cell.spec).cycles
+        for cell in cells
+    }
     rows = []
-    for value in values:
-        eager_runs = runner.run_many(specs_for(value, eager))
-        lazy_runs = runner.run_many(specs_for(value, lazy))
+    for index, value in enumerate(values):
         ratios = [
-            lz.cycles / eg.cycles for lz, eg in zip(lazy_runs, eager_runs)
+            cycles[(index, "lazy", seed)] / cycles[(index, "eager", seed)]
+            for seed in range(args.seeds)
         ]
         rows.append([value, round(geomean(ratios), 3)])
     print(
@@ -763,9 +1074,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--values", default="0.0,0.3,0.6,0.9")
     p_sweep.add_argument("--seeds", type=int, default=2)
+    p_sweep.add_argument(
+        "--emit-campaign",
+        default=None,
+        metavar="PATH",
+        help="write the sweep as a campaign spec instead of running it",
+    )
     _add_common(p_sweep)
     _add_runner_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the sharded campaign service over HTTP"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="campaign state directory (default <cache-dir>/service)",
+    )
+    _add_runner_flags(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run or validate declarative campaign specs"
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+    p_camp_run = camp_sub.add_parser(
+        "run", help="execute one campaign spec (locally or via --remote)"
+    )
+    p_camp_run.add_argument("spec", help="campaign spec file (.yaml/.json)")
+    p_camp_run.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="submit to a running `repro serve` instead of running locally",
+    )
+    p_camp_run.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for a remote campaign (default 600)",
+    )
+    _add_scale(p_camp_run)
+    _add_runner_flags(p_camp_run)
+    p_camp_run.set_defaults(fn=cmd_campaign)
+    p_camp_val = camp_sub.add_parser(
+        "validate", help="parse and expand specs without simulating"
+    )
+    p_camp_val.add_argument("specs", nargs="+", help="campaign spec files")
+    p_camp_val.set_defaults(fn=cmd_campaign)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running `repro serve` instance"
+    )
+    client_sub = p_client.add_subparsers(dest="action", required=True)
+    p_cl_submit = client_sub.add_parser("submit", help="submit a campaign spec")
+    p_cl_submit.add_argument("spec", help="campaign spec file (.yaml/.json)")
+    p_cl_submit.add_argument(
+        "--wait", action="store_true", help="block until the campaign finishes"
+    )
+    p_cl_submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait with --wait (default 600)",
+    )
+    p_cl_submit.add_argument("--scale", default=None)
+    p_cl_submit.add_argument("--url", default=None, help="service base URL")
+    p_cl_submit.set_defaults(fn=cmd_client)
+    p_cl_status = client_sub.add_parser(
+        "status", help="show one campaign (or list all)"
+    )
+    p_cl_status.add_argument("id", nargs="?", default=None)
+    p_cl_status.add_argument("--url", default=None, help="service base URL")
+    p_cl_status.set_defaults(fn=cmd_client)
+    p_cl_fetch = client_sub.add_parser(
+        "fetch", help="fetch result rows as NDJSON"
+    )
+    p_cl_fetch.add_argument("id")
+    p_cl_fetch.add_argument("--url", default=None, help="service base URL")
+    p_cl_fetch.set_defaults(fn=cmd_client)
 
     return parser
 

@@ -1,0 +1,26 @@
+"""Persistent-format version constants, in one shared place.
+
+Two on-disk formats carry a version stamp:
+
+* the result-cache entries written by
+  :class:`repro.analysis.parallel.Runner` (``CACHE_SCHEMA_VERSION``), and
+* the declarative campaign specs consumed by :mod:`repro.service`
+  (``CAMPAIGN_SCHEMA_VERSION``).
+
+They live here — below both the analysis and service layers — so a schema
+bump is one edit and neither layer has to import the other to learn the
+current version.
+"""
+
+from __future__ import annotations
+
+#: Result-cache file layout version.  Bump when the cache file layout (not
+#: the simulator) changes.
+#: v2: RunMetrics gained ``breakdown_detail``; all cache writes are strict
+#: JSON (``allow_nan=False``, empty-accumulator min/max as null).
+CACHE_SCHEMA_VERSION = 2
+
+#: Declarative campaign-spec version (the ``campaign:`` key every spec
+#: file must carry).  Bump when the campaign grammar changes
+#: incompatibly; the parser rejects any other value with a clean error.
+CAMPAIGN_SCHEMA_VERSION = 1

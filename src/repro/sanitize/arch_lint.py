@@ -39,6 +39,9 @@ RULE = "arch-import"
 LAYER_CONTRACT: dict[str, tuple[str, ...]] = {
     "core": ("repro.memory", "repro.sim", "repro.analysis", "repro.obs"),
     "memory": ("repro.core",),
+    # The campaign service orchestrates experiments through the analysis
+    # Runner; it must never reach past it into the simulation engine.
+    "service": ("repro.core", "repro.memory", "repro.sim"),
 }
 
 #: Layers where even TYPE_CHECKING imports of the forbidden prefixes are
@@ -68,11 +71,12 @@ def check_file(path: Path, base: Path) -> list[LintFinding]:
             )
             if hit is None:
                 continue
-            hint = (
-                "use the repro.core.ports protocols"
-                if layer == "core"
-                else "the memory side must not depend on core types"
-            )
+            hint = {
+                "core": "use the repro.core.ports protocols",
+                "memory": "the memory side must not depend on core types",
+                "service": "the service drives experiments through"
+                " repro.analysis, never the engine directly",
+            }[layer]
             findings.append(
                 LintFinding(
                     path=relpath,

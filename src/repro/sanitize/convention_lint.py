@@ -37,7 +37,7 @@ WALLCLOCK_MODULES = ("time", "datetime")
 # Host-side experiment orchestration: wall-clock feeds the progress/ETA
 # line of the parallel runner and the CLI's lint wall-clock budget gate,
 # never simulated cycle counts.
-WALLCLOCK_EXEMPT = ("analysis/parallel.py", "cli.py")
+WALLCLOCK_EXEMPT = ("analysis/parallel.py", "cli.py", "service/client.py")
 # The sanctioned seeded-RNG factory module may mention numpy.random freely.
 RANDOM_EXEMPT = ("common/rng.py",)
 # numpy.random attributes that construct explicitly-seeded generators.

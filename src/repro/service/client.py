@@ -1,0 +1,108 @@
+"""urllib client for the campaign service (``repro client``/``--remote``)."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Iterator
+
+
+class ServiceError(RuntimeError):
+    """The service rejected a request (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Thin synchronous client over the NDJSON/JSON HTTP surface."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> bytes:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/x-yaml")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(exc.code, detail) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, body: bytes | None = None) -> dict:
+        return json.loads(self._request(method, path, body))
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def submit(self, spec_text: str, scale: str | None = None) -> dict:
+        """Submit a campaign spec (YAML/JSON text); returns its status."""
+        path = "/campaigns"
+        if scale is not None:
+            path += "?" + urllib.parse.urlencode({"scale": scale})
+        return self._json("POST", path, spec_text.encode())
+
+    def status(self, campaign_id: str) -> dict:
+        return self._json("GET", f"/campaigns/{campaign_id}")
+
+    def list_campaigns(self) -> list[dict]:
+        return self._json("GET", "/campaigns")["campaigns"]
+
+    def results(self, campaign_id: str) -> list[dict]:
+        """The finished campaign's NDJSON result rows, decoded."""
+        body = self._request("GET", f"/campaigns/{campaign_id}/results")
+        return [
+            json.loads(line)
+            for line in body.decode().splitlines()
+            if line.strip()
+        ]
+
+    def events(self, campaign_id: str) -> Iterator[dict]:
+        """The campaign's event log (the stream, read to completion)."""
+        body = self._request("GET", f"/campaigns/{campaign_id}/events")
+        for line in body.decode().splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.2,
+    ) -> dict:
+        """Poll until the campaign reaches done/failed; returns the status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0,
+                    f"campaign {campaign_id[:12]} still"
+                    f" {status['state']} after {timeout:.0f}s",
+                )
+            time.sleep(poll)

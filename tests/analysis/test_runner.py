@@ -1,8 +1,12 @@
-"""Experiment-scale, config-builder, metrics-schema and shim tests."""
+"""Experiment-scale, config-builder and metrics-schema tests."""
 
 import pytest
 
-from repro.analysis.parallel import reset_default_runner
+from repro.analysis.parallel import (
+    RunSpec,
+    get_default_runner,
+    reset_default_runner,
+)
 from repro.analysis.runner import (
     FULL,
     PAPER,
@@ -11,12 +15,9 @@ from repro.analysis.runner import (
     ROW_VARIANTS,
     RunMetrics,
     base_params,
-    clear_cache,
     config,
     default_scale,
     normalized_time,
-    run_one,
-    run_seeds,
     scale_by_name,
 )
 from repro.common.params import (
@@ -105,10 +106,27 @@ class TestConfigBuilder:
         assert "RW+Dir_Sat" in names
 
 
+class TestShimsRetired:
+    """The PR-2 deprecation shims are gone; the Runner API is the one API."""
+
+    def test_module_level_shims_removed(self):
+        import repro.analysis.runner as runner_mod
+
+        for name in ("run_one", "run_seeds", "clear_cache", "_deprecated"):
+            assert not hasattr(runner_mod, name), name
+
+    def test_package_no_longer_exports_shims(self):
+        import repro.analysis as analysis
+
+        for name in ("run_one", "run_seeds", "clear_cache"):
+            assert not hasattr(analysis, name), name
+            assert name not in analysis.__all__
+
+
 class TestMetricsSchema:
     def _metrics(self) -> RunMetrics:
-        with pytest.warns(DeprecationWarning):
-            return run_one("fmm", base_params(SMOKE), SMOKE, seed=0)
+        spec = RunSpec.build("fmm", base_params(SMOKE), SMOKE, seed=0)
+        return get_default_runner().run(spec)
 
     def test_json_roundtrip_is_equal(self):
         m = self._metrics()
@@ -124,46 +142,6 @@ class TestMetricsSchema:
     def test_from_dict_non_dict_raises(self):
         with pytest.raises(ValueError):
             RunMetrics.from_dict([1, 2, 3])
-
-
-class TestDeprecatedShims:
-    def test_run_one_warns_and_runs(self):
-        with pytest.warns(DeprecationWarning, match="run_one"):
-            m = run_one("fmm", base_params(SMOKE), SMOKE, seed=0)
-        assert isinstance(m, RunMetrics)
-        assert m.cycles > 0
-        assert m.instructions == SMOKE.num_threads * SMOKE.instructions_per_thread
-
-    def test_run_one_still_memoizes(self):
-        params = base_params(SMOKE)
-        with pytest.warns(DeprecationWarning):
-            a = run_one("fmm", params, SMOKE, seed=0)
-        with pytest.warns(DeprecationWarning):
-            b = run_one("fmm", params, SMOKE, seed=0)
-        assert a is b
-
-    def test_different_params_not_cached_together(self):
-        with pytest.warns(DeprecationWarning):
-            a = run_one("fmm", config(base_params(SMOKE), AtomicMode.EAGER), SMOKE, 0)
-        with pytest.warns(DeprecationWarning):
-            b = run_one("fmm", config(base_params(SMOKE), AtomicMode.LAZY), SMOKE, 0)
-        assert a is not b
-
-    def test_run_seeds_warns_and_has_scale_length(self):
-        with pytest.warns(DeprecationWarning, match="run_seeds"):
-            ms = run_seeds("fmm", base_params(SMOKE), SMOKE)
-        assert len(ms) == len(SMOKE.seeds)
-
-    def test_clear_cache_warns_and_drops_memo(self):
-        params = base_params(SMOKE)
-        with pytest.warns(DeprecationWarning):
-            a = run_one("fmm", params, SMOKE, seed=0)
-        with pytest.warns(DeprecationWarning, match="clear_cache"):
-            clear_cache()
-        with pytest.warns(DeprecationWarning):
-            b = run_one("fmm", params, SMOKE, seed=0)
-        assert a is not b
-        assert a == b  # deterministic engine: recompute reproduces exactly
 
 
 class TestNormalizedTime:

@@ -1,0 +1,169 @@
+"""The committed campaign specs expand to exactly the grids the figure
+and ablation code used to build by hand — asserted spec-set equality, so
+`repro figure figN` and `repro campaign run campaigns/figN.yaml` hit the
+same cache entries by construction."""
+
+import pathlib
+from dataclasses import replace
+
+import repro.analysis.ablations as ablations_mod
+import repro.analysis.figures as figures_mod
+from repro.analysis.ablations import ABLATION_WORKLOADS, mixed_alias_profile
+from repro.analysis.figures import ATOMIC_WORKLOADS
+from repro.analysis.parallel import RunSpec
+from repro.analysis.runner import (
+    ROW_VARIANTS,
+    SMOKE,
+    base_params,
+    config,
+)
+from repro.common.params import AtomicMode, DetectionMode, PredictorKind
+from repro.service import planner
+from repro.service.schema import load_named_campaign
+
+
+def expand(name, scale=SMOKE):
+    return set(planner.expand_campaign(load_named_campaign(name), scale))
+
+
+class TestFigureParity:
+    def test_fig1_fig4_fig6_eager_lazy_grid(self):
+        base = base_params(SMOKE)
+        manual = set(
+            RunSpec.grid(
+                list(ATOMIC_WORKLOADS),
+                [config(base, AtomicMode.EAGER), config(base, AtomicMode.LAZY)],
+                SMOKE,
+            )
+        )
+        for name in ("fig1", "fig4", "fig6"):
+            assert expand(name) == manual, name
+
+    def test_fig5_eager_only(self):
+        base = base_params(SMOKE)
+        manual = set(
+            RunSpec.grid(
+                list(ATOMIC_WORKLOADS), [config(base, AtomicMode.EAGER)], SMOKE
+            )
+        )
+        assert expand("fig5") == manual
+
+    def test_fig9_row_variants(self):
+        base = base_params(SMOKE)
+        configs = [config(base, AtomicMode.EAGER), config(base, AtomicMode.LAZY)]
+        configs += [
+            config(base, AtomicMode.ROW, det, pred)
+            for _, det, pred in ROW_VARIANTS
+        ]
+        manual = set(RunSpec.grid(list(ATOMIC_WORKLOADS), configs, SMOKE))
+        assert expand("fig9") == manual
+
+    def test_fig10_thresholds(self):
+        base = base_params(SMOKE)
+        configs = [config(base, AtomicMode.EAGER)]
+        configs += [
+            config(
+                base,
+                AtomicMode.ROW,
+                DetectionMode.RW_DIR,
+                PredictorKind.SATURATE,
+                latency_threshold=thr,
+            )
+            for thr in (0, 40, 120, 400, 2000, None)
+        ]
+        manual = set(RunSpec.grid(list(ATOMIC_WORKLOADS), configs, SMOKE))
+        assert expand("fig10") == manual
+
+    def test_fig13_forwarding_variants(self):
+        base = base_params(SMOKE)
+        configs = [
+            config(base, AtomicMode.EAGER),
+            config(base, AtomicMode.LAZY),
+            config(base, AtomicMode.EAGER, forwarding=True),
+        ]
+        for det, pred in (
+            (DetectionMode.RW_DIR, PredictorKind.UPDOWN),
+            (DetectionMode.RW_DIR, PredictorKind.SATURATE),
+        ):
+            configs.append(config(base, AtomicMode.ROW, det, pred))
+            configs.append(
+                config(base, AtomicMode.ROW, det, pred, forwarding=True)
+            )
+        manual = set(RunSpec.grid(list(ATOMIC_WORKLOADS), configs, SMOKE))
+        assert expand("fig13") == manual
+
+    def test_fig2_microbench_axes(self):
+        campaign = load_named_campaign("fig2")
+        jobs = planner.expand_microbench(campaign, SMOKE)
+        assert len(jobs) == 2 * 3 * 4  # machines x ops x variants
+        assert {j.machine for j in jobs} == {"old-x86", "new-x86"}
+        assert {j.op.value for j in jobs} == {"faa", "cas", "swap"}
+        assert {j.iterations for j in jobs} == {200}
+
+
+class TestAblationParity:
+    def test_predictor_entries_sweep(self):
+        base = base_params(SMOKE)
+        workloads = list(ABLATION_WORKLOADS) + [mixed_alias_profile()]
+        configs = [config(base, AtomicMode.EAGER)]
+        for entries in (1, 4, 16, 64, 256):
+            sat = config(
+                base,
+                AtomicMode.ROW,
+                DetectionMode.RW_DIR,
+                PredictorKind.SATURATE,
+            )
+            configs.append(
+                replace(sat, row=replace(sat.row, predictor_entries=entries))
+            )
+        manual = set(RunSpec.grid(workloads, configs, SMOKE))
+        assert expand("ablation_predictor_entries") == manual
+
+    def test_aq_depth_sweep(self):
+        base = base_params(SMOKE)
+        configs = [
+            config(replace(base, aq_entries=d), AtomicMode.EAGER)
+            for d in (16, 1, 2, 4, 8, 16)
+        ]
+        manual = set(
+            RunSpec.grid(["canneal", "freqmine", "pc"], configs, SMOKE)
+        )
+        assert expand("ablation_aq_depth") == manual
+
+    def test_sb_depth_sweep(self):
+        base = base_params(SMOKE)
+        configs = [
+            config(replace(base, sb_entries=d), AtomicMode.LAZY)
+            for d in (32, 4, 8, 16, 32)
+        ]
+        manual = set(RunSpec.grid(["canneal", "pc"], configs, SMOKE))
+        assert expand("ablation_sb_depth") == manual
+
+
+class TestNoHandWrittenGrids:
+    """The satellite contract: figures/ablations contain no hand-rolled
+    prefetch grids anymore — every grid flows through the campaign planner."""
+
+    def _source(self, module):
+        return pathlib.Path(module.__file__).read_text()
+
+    def test_no_prefetch_calls_remain(self):
+        assert "prefetch(" not in self._source(figures_mod)
+        assert "prefetch(" not in self._source(ablations_mod)
+
+    def test_no_runspec_grid_calls_remain(self):
+        assert "RunSpec.grid(" not in self._source(figures_mod)
+        assert "RunSpec.grid(" not in self._source(ablations_mod)
+
+    def test_every_figure_campaign_is_committed(self):
+        from repro.service.schema import default_campaign_dir
+
+        committed = {p.stem for p in default_campaign_dir().glob("*.yaml")}
+        for name in (
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "headline", "smoke",
+            "ablation_predictor_entries", "ablation_counter_width",
+            "ablation_predictor_policy", "ablation_aq_depth",
+            "ablation_sb_depth",
+        ):
+            assert name in committed, name

@@ -1,0 +1,190 @@
+"""ShardPool: dedup across overlapping campaigns, restart resume."""
+
+import time
+
+import pytest
+
+from repro.analysis.parallel import Runner
+from repro.service import planner
+from repro.service.fabric import ShardPool
+from repro.service.schema import CampaignError, loads_campaign
+
+SMOKE_SPEC = """
+campaign: 1
+name: tiny
+scale: smoke
+grids:
+  - workloads: [fmm]
+    configs:
+      - {name: eager, mode: eager}
+      - {name: lazy, mode: lazy}
+"""
+
+OVERLAPPING_SPEC = """
+campaign: 1
+name: overlap
+scale: smoke
+grids:
+  - workloads: [fmm]
+    configs:
+      - {name: eager, mode: eager}
+      - {name: row, mode: row, detection: rw+dir, predictor: sat}
+"""
+
+
+def make_pool(tmp_path, state=True):
+    runner = Runner(cache_dir=tmp_path / "cache")
+    pool = ShardPool(
+        runner, state_dir=(tmp_path / "state") if state else None
+    )
+    return runner, pool
+
+
+class TestSubmission:
+    def test_submit_runs_to_done(self, tmp_path):
+        runner, pool = make_pool(tmp_path)
+        pool.start()
+        try:
+            run = pool.submit(loads_campaign(SMOKE_SPEC))
+            assert run.wait(timeout=60)
+        finally:
+            pool.stop()
+        assert run.state == "done"
+        assert run.total == 2
+        assert run.simulated == 2
+        assert len(run.result_rows()) == 2
+
+    def test_submit_is_idempotent_on_content(self, tmp_path):
+        runner, pool = make_pool(tmp_path)
+        pool.start()
+        try:
+            first = pool.submit(loads_campaign(SMOKE_SPEC))
+            second = pool.submit(loads_campaign(SMOKE_SPEC))
+            assert first is second
+            assert first.wait(timeout=60)
+        finally:
+            pool.stop()
+        assert len(pool.list_runs()) == 1
+
+    def test_microbench_campaign_rejected(self, tmp_path):
+        runner, pool = make_pool(tmp_path)
+        text = """
+campaign: 1
+name: micro
+kind: microbench
+machines: [new-x86]
+ops: [faa]
+variants: [plain]
+iterations: 10
+"""
+        with pytest.raises(CampaignError, match="microbench"):
+            pool.submit(loads_campaign(text))
+
+    def test_result_rows_unavailable_until_done(self, tmp_path):
+        runner, pool = make_pool(tmp_path)
+        run = pool.submit(loads_campaign(SMOKE_SPEC))  # pool not started
+        with pytest.raises(CampaignError, match="queued"):
+            run.result_rows()
+
+
+class TestDedup:
+    def test_overlapping_campaigns_simulate_shared_cells_once(self, tmp_path):
+        """Two campaigns sharing the (fmm, eager, seed 0) cell: the second
+        gets it from the cache, so each unique spec simulates exactly once."""
+        runner, pool = make_pool(tmp_path)
+        pool.start()
+        try:
+            a = pool.submit(loads_campaign(SMOKE_SPEC))
+            b = pool.submit(loads_campaign(OVERLAPPING_SPEC))
+            assert a.wait(timeout=60) and b.wait(timeout=60)
+        finally:
+            pool.stop()
+        shared = set(a.specs) & set(b.specs)
+        assert len(shared) == 1
+        assert runner.stats.simulated == 3  # eager, lazy, row — not 4
+        assert a.completed + b.completed == 4
+        assert a.simulated + b.simulated == 3
+        assert b.cache_hits == 1  # the shared eager cell
+
+    def test_duplicate_cells_within_one_campaign_run_once(self, tmp_path):
+        text = """
+campaign: 1
+name: dupes
+scale: smoke
+grids:
+  - workloads: [fmm]
+    configs:
+      - {name: a, mode: eager}
+      - {name: b, mode: eager}
+"""
+        runner, pool = make_pool(tmp_path)
+        pool.start()
+        try:
+            run = pool.submit(loads_campaign(text))
+            assert run.wait(timeout=60)
+        finally:
+            pool.stop()
+        assert runner.stats.simulated == 1
+        # Both labelled cells still appear in the results.
+        assert len(run.result_rows()) == 2
+
+
+class TestResume:
+    def test_kill_and_restart_completes_only_missing_cells(self, tmp_path):
+        """Stop the pool mid-campaign; a fresh pool over the same state and
+        cache dirs re-simulates only the cells the first pass never ran."""
+        campaign = loads_campaign(SMOKE_SPEC)
+        total = len(planner.expand_campaign(campaign, "smoke"))
+
+        runner1, pool1 = make_pool(tmp_path)
+        pool1.start()
+        run1 = pool1.submit(campaign)
+        # Stop as soon as the first cell lands; stop() waits for the
+        # dispatcher to exit, leaving the persisted state "running".
+        while run1.completed == 0 and run1.state != "done":
+            time.sleep(0.005)
+        pool1.stop()
+        pass1 = runner1.stats.simulated
+        assert 0 < pass1 <= total
+
+        runner2, pool2 = make_pool(tmp_path)
+        resumed = pool2.resume_pending()
+        if run1.state == "done":
+            # The whole campaign landed before the stop; nothing pending.
+            assert resumed == []
+            return
+        assert [r.id for r in resumed] == [run1.id]
+        pool2.start()
+        try:
+            assert resumed[0].wait(timeout=60)
+        finally:
+            pool2.stop()
+        assert resumed[0].state == "done"
+        # Second pass: completed cells come back as disk hits, only the
+        # missing ones simulate.
+        assert runner2.stats.simulated == total - pass1
+        assert runner2.stats.disk_hits == pass1
+        assert len(resumed[0].result_rows()) == total
+
+    def test_done_campaigns_are_not_resumed(self, tmp_path):
+        runner1, pool1 = make_pool(tmp_path)
+        pool1.start()
+        run = pool1.submit(loads_campaign(SMOKE_SPEC))
+        assert run.wait(timeout=60)
+        pool1.stop()
+
+        runner2, pool2 = make_pool(tmp_path)
+        assert pool2.resume_pending() == []
+
+    def test_corrupt_state_file_is_discarded(self, tmp_path):
+        runner, pool = make_pool(tmp_path)
+        state = tmp_path / "state"
+        state.mkdir(exist_ok=True)
+        bad = state / "bad.json"
+        bad.write_text("{not json")
+        assert pool.resume_pending() == []
+        assert not bad.exists()
+
+    def test_stateless_pool_resumes_nothing(self, tmp_path):
+        runner, pool = make_pool(tmp_path, state=False)
+        assert pool.resume_pending() == []
