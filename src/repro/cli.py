@@ -311,6 +311,17 @@ def _check_perf_smoke() -> int:
             " few core-steps on an idle-heavy workload"
         )
         return 1
+    # The pure event pump idle-jumps whenever nothing is runnable, so a
+    # pass that runs no event, fires no wake and pumps no core means the
+    # pump regressed to polling dead cycles.  Structural invariant: zero.
+    empty = spine["empty_iterations"]
+    print(f"event pump ran {empty} empty passes (required: 0)")
+    if empty != 0:
+        print(
+            "perf smoke gate failed: the event pump burned passes on"
+            " cycles with nothing due"
+        )
+        return 1
     return 0
 
 

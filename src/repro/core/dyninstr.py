@@ -58,6 +58,8 @@ class DynInstr:
         "storeset_wait_uid",
         "new_mem_value",
         "first_issue_cycle",
+        "in_lq",
+        "in_sb",
     )
 
     def __init__(self, static: Instruction, uid: int, fetch_cycle: int) -> None:
@@ -103,6 +105,12 @@ class DynInstr:
         self.storeset_wait_uid: Optional[int] = None
         self.new_mem_value = 0
         self.first_issue_cycle = _UNSET
+        # LQ/SB residency flags, mirrored by LoadStoreUnit at the queue
+        # append/pop sites: the per-address forwarding and snoop indexes
+        # compact their buckets lazily, so a bucket entry must know
+        # whether it still sits in its queue.
+        self.in_lq = False
+        self.in_sb = False
 
     # Convenience passthroughs -----------------------------------------
 

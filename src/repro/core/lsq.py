@@ -72,6 +72,23 @@ class LoadStoreUnit:
         # Line-lock table (cache locking): line -> active lock count.
         self.locked_lines: dict[int, int] = {}
 
+        # Per-address / per-line acceleration indexes.  Buckets hold
+        # queue entries in program order (append order) and are compacted
+        # lazily at scan time using the ``in_sb``/``in_lq`` residency
+        # flags — the queues themselves stay the source of truth.
+        # ``_sb_by_addr`` feeds store-to-load forwarding lookups;
+        # ``_lq_by_line`` feeds the violation check (filtered further by
+        # exact address) and the TSO invalidation snoop.
+        self._sb_by_addr: dict[int, list[DynInstr]] = {}
+        self._lq_by_line: dict[int, list[DynInstr]] = {}
+
+        # Hot-path counters, bound lazily at the same first-increment
+        # point as the uncached code so counter-dict insertion order (and
+        # therefore serialized stats) is unchanged.
+        self._c_loads_forwarded = None
+        self._c_loads_to_memory = None
+        self._c_stores_drained = None
+
         # Wired after construction (units are built in dependency order).
         self.policy: "AtomicPolicyBase | None" = None
         self.recovery: "RecoveryUnit | None" = None
@@ -107,10 +124,32 @@ class LoadStoreUnit:
         cls = dyn.cls
         if cls in (InstrClass.LOAD, InstrClass.ATOMIC):
             self.lq.append(dyn)
+            self.index_lq_entry(dyn)
         if cls in (InstrClass.STORE, InstrClass.ATOMIC):
             self.sb.append(dyn)
+            self.index_sb_entry(dyn)
             if self.storeset is not None:
                 self.storeset.store_dispatched(dyn)
+
+    def index_lq_entry(self, dyn: DynInstr) -> None:
+        """Mirror an LQ append into the per-line snoop index."""
+        dyn.in_lq = True
+        line = dyn.static.line
+        bucket = self._lq_by_line.get(line)
+        if bucket is None:
+            self._lq_by_line[line] = [dyn]
+        else:
+            bucket.append(dyn)
+
+    def index_sb_entry(self, dyn: DynInstr) -> None:
+        """Mirror an SB append into the per-address forwarding index."""
+        dyn.in_sb = True
+        addr = dyn.static.addr
+        bucket = self._sb_by_addr.get(addr)
+        if bucket is None:
+            self._sb_by_addr[addr] = [dyn]
+        else:
+            bucket.append(dyn)
 
     # ------------------------------------------------------------------
     # Stores
@@ -164,12 +203,22 @@ class LoadStoreUnit:
                 dyn.value = match.new_mem_value
             else:
                 dyn.value = match.static.operand
-            self.stats.counter("loads_forwarded").add()
+            ctr = self._c_loads_forwarded
+            if ctr is None:
+                ctr = self._c_loads_forwarded = self.stats.counter(
+                    "loads_forwarded"
+                )
+            ctr.value += 1
             self.core.schedule_complete(dyn, self.params.store_forward_cycles)
             return True
         self.core.issue_bookkeeping(dyn, now)
         dyn.mem_requested = True
-        self.stats.counter("loads_to_memory").add()
+        ctr = self._c_loads_to_memory
+        if ctr is None:
+            ctr = self._c_loads_to_memory = self.stats.counter(
+                "loads_to_memory"
+            )
+        ctr.value += 1
         self.core.port.access(
             dyn.line,
             excl=False,
@@ -179,15 +228,36 @@ class LoadStoreUnit:
         return True
 
     def find_store_match(self, load: DynInstr) -> DynInstr | None:
-        """Youngest older SB entry with a resolved matching address."""
-        addr = load.static.addr
+        """Youngest older SB entry with a resolved matching address.
+
+        Served from the per-address index instead of scanning the whole
+        SB: the bucket holds exactly the SB's same-address entries in
+        program order (stale ones are compacted away here), so the last
+        older resolved entry is the youngest — identical to the full
+        reverse scan.
+        """
+        bucket = self._sb_by_addr.get(load.static.addr)
+        if bucket is None:
+            return None
         seq = load.seq
-        for candidate in reversed(self.sb):
-            if candidate.seq >= seq:
-                continue
-            if candidate.addr_computed and candidate.static.addr == addr:
-                return candidate
-        return None
+        match = None
+        alive = 0
+        n = len(bucket)
+        for candidate in bucket:
+            if candidate.in_sb:
+                bucket[alive] = candidate
+                alive += 1
+                if (
+                    candidate.seq < seq
+                    and candidate.addr_computed
+                ):
+                    match = candidate
+        if alive != n:
+            if alive:
+                del bucket[alive:]
+            else:
+                del self._sb_by_addr[load.static.addr]
+        return match
 
     def on_load_data(self, dyn: DynInstr, when: int) -> None:
         self.core.note_activity()
@@ -197,13 +267,9 @@ class LoadStoreUnit:
         dyn.value_read_from_memory = True
         self.core.complete(dyn)
 
-    def wake_memdep_waiters(self, dyn: DynInstr) -> None:
-        """An in-flight atomic completed: release loads parked on its
-        result (called from the core's completion path)."""
-        waiters = self.memdep_waiting.pop(dyn.uid, None)
-        if waiters:
-            for w in waiters:
-                self.core.wake(w)
+    # Loads parked on an in-flight atomic's result (``memdep_waiting``)
+    # are released inline by Pipeline.complete(), the only completion
+    # funnel — it guards on the table being non-empty before popping.
 
     # ------------------------------------------------------------------
     # Commit-side interface
@@ -221,6 +287,7 @@ class LoadStoreUnit:
                 cycle=now,
             )
         self.lq.popleft()
+        head.in_lq = False
 
     # ------------------------------------------------------------------
     # Store buffer drain
@@ -242,6 +309,7 @@ class LoadStoreUnit:
             # (far atomics already wrote at the home bank)
             policy.unlock(head, now)
             self.sb.popleft()
+            head.in_sb = False
             self.wake_drain_waiters(head)
             return True
         # Plain store: needs M permission to write.
@@ -250,7 +318,13 @@ class LoadStoreUnit:
             port.mark_dirty(line)
             self.core.image.write(head.addr, head.static.operand)
             self.sb.popleft()
-            self.stats.counter("stores_drained").add()
+            head.in_sb = False
+            ctr = self._c_stores_drained
+            if ctr is None:
+                ctr = self._c_stores_drained = self.stats.counter(
+                    "stores_drained"
+                )
+            ctr.value += 1
             self.wake_drain_waiters(head)
             return True
         if not head.write_requested:
@@ -288,7 +362,21 @@ class LoadStoreUnit:
         consumed (or will consume) a stale memory value (store-set miss)."""
         addr = store_dyn.static.addr
         victim = None
-        for load in self.lq:
+        # Same address implies same line, so the per-line bucket covers
+        # every same-address LQ entry, in program order; the first stale
+        # one is the same victim the full in-order LQ walk would find.
+        bucket = self._lq_by_line.get(store_dyn.static.line)
+        if bucket is None:
+            return
+        alive = 0
+        n = len(bucket)
+        for load in bucket:
+            if not load.in_lq:
+                continue
+            bucket[alive] = load
+            alive += 1
+            if victim is not None:
+                continue
             if load.seq <= store_dyn.seq or load.squashed or load.committed:
                 continue
             if load.static.addr != addr:
@@ -312,7 +400,11 @@ class LoadStoreUnit:
                 )
             if stale:
                 victim = load
-                break
+        if alive != n:
+            if alive:
+                del bucket[alive:]
+            else:
+                del self._lq_by_line[store_dyn.static.line]
         if victim is None:
             return
         self.stats.counter("order_violations").add()
@@ -329,14 +421,27 @@ class LoadStoreUnit:
         uncommitted loads that read the invalidated line from memory."""
         self.core.note_activity()
         victim = None
-        for load in self.lq:
-            if load.cls is InstrClass.ATOMIC or load.squashed or load.committed:
+        bucket = self._lq_by_line.get(line)
+        if bucket is None:
+            return
+        alive = 0
+        n = len(bucket)
+        for load in bucket:
+            if not load.in_lq:
                 continue
-            if load.static.line != line:
+            bucket[alive] = load
+            alive += 1
+            if victim is not None:
+                continue
+            if load.cls is InstrClass.ATOMIC or load.squashed or load.committed:
                 continue
             if load.value_read_from_memory and load.fwd_store_uid is None:
                 victim = load
-                break
+        if alive != n:
+            if alive:
+                del bucket[alive:]
+            else:
+                del self._lq_by_line[line]
         if victim is not None:
             self.stats.counter("inv_squashes").add()
             recovery = self.recovery
@@ -362,9 +467,9 @@ class LoadStoreUnit:
     def drop_squashed_tails(self) -> None:
         """LQ/SB are in program order: squashed entries form the tails."""
         while self.lq and self.lq[-1].squashed:
-            self.lq.pop()
+            self.lq.pop().in_lq = False
         while self.sb and self.sb[-1].squashed:
-            self.sb.pop()
+            self.sb.pop().in_sb = False
 
     def prune_squashed_waiters(self) -> None:
         """Drop parking-lot entries whose waiters all squashed (blockers of

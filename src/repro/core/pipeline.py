@@ -48,6 +48,7 @@ from repro.core.lsq import LoadStoreUnit
 from repro.core.recovery import RecoveryUnit
 from repro.frontend.branch import make_branch_predictor
 from repro.isa.instructions import InstrClass, ThreadTrace
+from repro.sanitize.errors import ProtocolInvariantError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.ports import MemoryImagePort, MemoryPort
@@ -55,6 +56,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.tracer import Tracer
     from repro.row.mechanism import RowMechanism
     from repro.sim.engine import EventEngine
+
+
+# Table-driven issue select: the event-pump issue kernel dispatches each
+# ready instruction on a precomputed small-int action code instead of a
+# chain of enum identity tests.  The table is total over InstrClass
+# (MFENCE never enters the ready heap, but mapping it keeps the lookup
+# total and the KeyError surface empty).
+_ISSUE_SIMPLE, _ISSUE_STORE, _ISSUE_LOAD, _ISSUE_ATOMIC = range(4)
+_ISSUE_ACTION: dict[InstrClass, int] = {
+    InstrClass.ALU: _ISSUE_SIMPLE,
+    InstrClass.BRANCH: _ISSUE_SIMPLE,
+    InstrClass.NOP: _ISSUE_SIMPLE,
+    InstrClass.MFENCE: _ISSUE_SIMPLE,
+    InstrClass.STORE: _ISSUE_STORE,
+    InstrClass.LOAD: _ISSUE_LOAD,
+    InstrClass.ATOMIC: _ISSUE_ATOMIC,
+}
 
 
 class Core:
@@ -147,6 +165,15 @@ class Core:
         # instance attribute after construction, and the cache must capture
         # the wrapped version.
         self._drain_sb: "Callable[[int], bool] | None" = None
+        # Lazily-cached Counter objects for the pump kernels.  Created at
+        # the same first-increment point the legacy step() path creates
+        # them (stats.counter allocates on first lookup), so counter dict
+        # insertion order — and therefore merged-stat serialization — is
+        # identical across both loops.
+        self._c_committed = None
+        self._c_dispatched = None
+        self._c_branches_fetched = None
+        self._c_branch_mispredicts = None
 
     # ------------------------------------------------------------------
     # Shared services (the CoreServices surface used by the units)
@@ -197,6 +224,19 @@ class Core:
     def next_wake_cycle(self) -> int | None:
         """Earliest scheduled future self-wake, if any."""
         return self._pending_wakes[0] if self._pending_wakes else None
+
+    def wake_is_stale(self, cycle: int) -> bool:
+        """True when a mirrored wake-heap entry at ``cycle`` no longer
+        corresponds to a live scheduled wake: the core finished, or every
+        pending self-wake at or before ``cycle`` was already retired by an
+        earlier :meth:`fire_due_wakes` (wake retirement is ordered, so
+        ``pending[0] > cycle`` proves the ``cycle`` entry was consumed).
+        Called speculatively by the event pump's lazy heap discard — must
+        stay a pure read."""
+        if self.done:
+            return True
+        pending = self._pending_wakes
+        return not pending or pending[0] > cycle
 
     def quiescent(self) -> bool:
         """True when the core is not in the runnable set (it reported no
@@ -254,16 +294,22 @@ class Core:
         now = self.engine.now
         dyn.completed = True
         dyn.complete_cycle = now
+        # Resolved through the instance so seeded-defect tests (and the
+        # sanitizer's wake-funnel instrumentation) can intercept it.
         self.note_activity()
-        for consumer in dyn.consumers:
-            if consumer.squashed:
-                continue
-            consumer.deps_left -= 1
-            if consumer.deps_left == 0:
-                consumer.ready_cycle = now
-                if not consumer.issued:
-                    heapq.heappush(self.ready, (consumer.seq, consumer.uid, consumer))
-        dyn.consumers.clear()
+        consumers = dyn.consumers
+        if consumers:
+            ready = self.ready
+            push = heapq.heappush
+            for consumer in consumers:
+                if consumer.squashed:
+                    continue
+                consumer.deps_left -= 1
+                if consumer.deps_left == 0:
+                    consumer.ready_cycle = now
+                    if not consumer.issued:
+                        push(ready, (consumer.seq, consumer.uid, consumer))
+            consumers.clear()
         if dyn.cls is InstrClass.BRANCH:
             self.branch_pred.update(dyn.pc, dyn.static.taken)
             if dyn.mispredicted and self.fetch_blocked_on is dyn:
@@ -274,7 +320,12 @@ class Core:
                 # Wake the core when the redirect penalty elapses so the
                 # idle-skip never strands a pending refetch.
                 self.schedule_wake(self.fetch_resume_cycle)
-        self.lsq.wake_memdep_waiters(dyn)
+        waiting = self.lsq.memdep_waiting
+        if waiting:
+            waiters = waiting.pop(dyn.uid, None)
+            if waiters:
+                for w in waiters:
+                    self.wake(w)
 
     def wake(self, dyn: DynInstr) -> None:
         if not dyn.squashed and not dyn.issued:
@@ -319,6 +370,323 @@ class Core:
         ):
             self.done = True
             self.finish_cycle = now
+
+    # ------------------------------------------------------------------
+    # Event-pump fast path
+    #
+    # pump() is the event-driven twin of step(): same stages, same order,
+    # same mutations — but every stage call is preceded by a pure
+    # can-this-stage-possibly-work guard, and the per-stage loops are
+    # batched kernels with hoisted bindings and table-driven dispatch.
+    # step() is deliberately left as the plain reference implementation:
+    # the legacy quiesce=False loop runs it, and the differential tests
+    # (tests/sim/test_spine.py, the Hypothesis transparency property,
+    # benchmarks/bench_spine.py) pin the two bit-identical.
+    # ------------------------------------------------------------------
+
+    def pump(self, now: int) -> bool:
+        """Advance one active cycle through the batched kernels.
+
+        Returns True if the core did any work (same contract as
+        :meth:`step`).  Stage guards mirror the early-outs inside each
+        stage exactly, so skipping the call is behaviour-identical to
+        making it.
+        """
+        if self.done:
+            return False
+        worked = False
+        rob = self.rob
+        if rob and rob[0].completed:
+            if self._commit_kernel(now):
+                worked = True
+        lsq = self.lsq
+        if lsq.sb:
+            drain = self._drain_sb
+            if drain is None:
+                drain = self._drain_sb = lsq.drain_sb
+            if drain(now):
+                worked = True
+        if self.ready or self.recovery.fences_active or self.policy.lazy_waiting:
+            if self._issue_kernel(now):
+                worked = True
+        if self.fetch_buffer:
+            if self._dispatch_kernel(now):
+                worked = True
+        if (
+            self.next_fetch < len(self.trace)
+            and now >= self.fetch_resume_cycle
+            and self.fetch_blocked_on is None
+        ):
+            if self._fetch_kernel(now):
+                worked = True
+        if self._event_activity:
+            self._event_activity = False
+            worked = True
+        if (
+            not self.done
+            and not rob
+            and not lsq.sb
+            and not self.fetch_buffer
+            and self.next_fetch >= len(self.trace)
+        ):
+            self.done = True
+            self.finish_cycle = now
+        return worked
+
+    def _commit_kernel(self, now: int) -> bool:
+        """Batched commit retire loop (the fast twin of :meth:`_commit`)."""
+        rob = self.rob
+        budget = self.params.commit_width
+        lsq = self.lsq
+        sb = lsq.sb
+        lq = lsq.lq
+        tracer = self.tracer
+        inflight_pop = self.inflight_by_seq.pop
+        load_values = self.load_values
+        rob_popleft = rob.popleft
+        ctr = self._c_committed
+        atomic = InstrClass.ATOMIC
+        load = InstrClass.LOAD
+        worked = False
+        while budget and rob:
+            head = rob[0]
+            if not head.completed:
+                break
+            cls = head.cls
+            if cls is atomic:
+                # Total order for x86 atomics: drain the SB before leaving
+                # the ROB — the atomic's own store_unlock must be at the
+                # SB head (everything older already wrote).
+                if not sb or sb[0] is not head:
+                    break
+            head.committed = True
+            head.commit_cycle = now
+            rob_popleft()
+            inflight_pop(head.seq, None)
+            if cls is load or cls is atomic:
+                # Inlined LoadStoreUnit.commit_load_head (same invariant).
+                if not lq or lq[0] is not head:
+                    raise ProtocolInvariantError(
+                        "lq-commit-alignment",
+                        f"core {self.core_id} committing seq {head.seq} but "
+                        f"it is not at the load-queue head",
+                        line=head.line,
+                        cycle=now,
+                    )
+                lq.popleft()
+                head.in_lq = False
+                load_values[head.seq] = head.value
+            if ctr is None:
+                ctr = self._c_committed = self.stats.counter("committed")
+            ctr.value += 1
+            if tracer is not None:
+                self.emit_instr(head, now, "commit")
+            budget -= 1
+            worked = True
+        return worked
+
+    def _issue_kernel(self, now: int) -> bool:
+        """Table-driven issue select (the fast twin of :meth:`_issue`)."""
+        worked = False
+        recovery = self.recovery
+        if recovery.fences_active and recovery.check_fences(now):
+            worked = True
+        budget = self.params.issue_width
+        policy = self.policy
+        if policy.lazy_waiting:
+            budget, pumped = policy.pump(now, budget)
+            if pumped:
+                worked = True
+        ready = self.ready
+        if not ready:
+            return worked
+        barrier = self._memory_barrier_seq()
+        pop = heapq.heappop
+        action_of = _ISSUE_ACTION
+        lsq = self.lsq
+        tracer = self.tracer
+        schedule = self.engine.schedule
+        complete = self.complete
+        while budget and ready:
+            dyn = pop(ready)[2]
+            if dyn.squashed or dyn.issued:
+                continue
+            if (
+                barrier is not None
+                and dyn.seq > barrier
+                and dyn.static.is_memory
+            ):
+                recovery.park_behind_barrier(dyn)
+                continue
+            action = action_of[dyn.cls]
+            if action == _ISSUE_SIMPLE:
+                # Inlined issue_bookkeeping + schedule_complete.
+                dyn.issued = True
+                dyn.issue_cycle = now
+                self.iq_used -= 1
+                if tracer is not None:
+                    self.emit_instr(dyn, now, "issue")
+                lat = dyn.static.exec_latency
+                schedule(
+                    now + (lat if lat > 1 else 1),
+                    lambda d=dyn: complete(d),
+                )
+                budget -= 1
+                worked = True
+            elif action == _ISSUE_STORE:
+                lsq.issue_store(dyn, now)
+                budget -= 1
+                worked = True
+            elif action == _ISSUE_LOAD:
+                if lsq.process_load(dyn, now):
+                    budget -= 1
+                    worked = True
+            else:
+                if policy.first_issue(dyn, now):
+                    budget -= 1
+                    worked = True
+        return worked
+
+    def _dispatch_kernel(self, now: int) -> bool:
+        """Batched dispatch (the fast twin of :meth:`_dispatch` with
+        :meth:`_do_dispatch` inlined; queue lengths tracked incrementally
+        instead of re-measured per instruction)."""
+        fetch_buffer = self.fetch_buffer
+        p = self.params
+        lsq = self.lsq
+        policy = self.policy
+        recovery = self.recovery
+        rob = self.rob
+        lq = lsq.lq
+        sb = lsq.sb
+        storeset = lsq.storeset
+        inflight = self.inflight_by_seq
+        tracer = self.tracer
+        ready = self.ready
+        push = heapq.heappush
+        buf_popleft = fetch_buffer.popleft
+        ctr = self._c_dispatched
+        mfence = InstrClass.MFENCE
+        atomic = InstrClass.ATOMIC
+        load = InstrClass.LOAD
+        store = InstrClass.STORE
+        rob_cap = p.rob_entries
+        iq_cap = p.iq_entries
+        lq_cap = p.lq_entries
+        sb_cap = p.sb_entries
+        aq_cap = p.aq_entries
+        rob_len = len(rob)
+        lq_len = len(lq)
+        sb_len = len(sb)
+        aq_len = len(policy.aq)
+        iq_used = self.iq_used
+        budget = p.issue_width
+        worked = False
+        while budget and fetch_buffer:
+            dyn = fetch_buffer[0]
+            cls = dyn.cls
+            if rob_len >= rob_cap:
+                break
+            needs_iq = cls is not mfence
+            if needs_iq and iq_used >= iq_cap:
+                break
+            is_atomic = cls is atomic
+            if (cls is load or is_atomic) and lq_len >= lq_cap:
+                break
+            if (cls is store or is_atomic) and sb_len >= sb_cap:
+                break
+            if is_atomic and aq_len >= aq_cap:
+                break
+            buf_popleft()
+            # --- inlined _do_dispatch ------------------------------------
+            dyn.dispatch_cycle = now
+            rob.append(dyn)
+            rob_len += 1
+            inflight[dyn.seq] = dyn
+            if ctr is None:
+                ctr = self._c_dispatched = self.stats.counter("dispatched")
+            ctr.value += 1
+            if tracer is not None:
+                self.emit_instr(dyn, now, "dispatch")
+            n = 0
+            for dep_seq in dyn.static.src_deps:
+                producer = inflight.get(dep_seq)
+                if producer is not None and not producer.completed:
+                    producer.consumers.append(dyn)
+                    n += 1
+            dyn.deps_left = n
+            # Inlined LoadStoreUnit.enqueue (index upkeep included).
+            if cls is load or is_atomic:
+                lq.append(dyn)
+                lq_len += 1
+                lsq.index_lq_entry(dyn)
+            if cls is store or is_atomic:
+                sb.append(dyn)
+                sb_len += 1
+                lsq.index_sb_entry(dyn)
+                if storeset is not None:
+                    storeset.store_dispatched(dyn)
+            if is_atomic:
+                policy.on_dispatch(dyn)
+                aq_len += 1
+            elif cls is mfence:
+                recovery.on_dispatch_fence(dyn, now)
+            if needs_iq:
+                iq_used += 1
+                if n == 0:
+                    dyn.ready_cycle = now
+                    push(ready, (dyn.seq, dyn.uid, dyn))
+            budget -= 1
+            worked = True
+        self.iq_used = iq_used
+        return worked
+
+    def _fetch_kernel(self, now: int) -> bool:
+        """Batched fetch (the fast twin of :meth:`_fetch`)."""
+        trace = self.trace
+        trace_len = len(trace)
+        next_fetch = self.next_fetch
+        fetch_buffer = self.fetch_buffer
+        buf_append = fetch_buffer.append
+        buf_len = len(fetch_buffer)
+        predictor = self.branch_pred
+        branch = InstrClass.BRANCH
+        new_dyn = DynInstr
+        uid = self._uid
+        budget = self.params.fetch_width
+        cap = 2 * budget
+        ctr_b = self._c_branches_fetched
+        worked = False
+        while budget and buf_len < cap and next_fetch < trace_len:
+            static = trace[next_fetch]
+            dyn = new_dyn(static, uid, now)
+            uid += 1
+            buf_append(dyn)
+            buf_len += 1
+            next_fetch += 1
+            budget -= 1
+            worked = True
+            if static.cls is branch:
+                dyn.mispredicted = predictor.predict(static.pc) != static.taken
+                if ctr_b is None:
+                    ctr_b = self._c_branches_fetched = self.stats.counter(
+                        "branches_fetched"
+                    )
+                ctr_b.value += 1
+                if dyn.mispredicted:
+                    # No wrong-path model: fetch stalls until the branch
+                    # resolves and then pays the redirect penalty.
+                    self.fetch_blocked_on = dyn
+                    ctr_m = self._c_branch_mispredicts
+                    if ctr_m is None:
+                        ctr_m = self._c_branch_mispredicts = (
+                            self.stats.counter("branch_mispredicts")
+                        )
+                    ctr_m.value += 1
+                    break
+        self.next_fetch = next_fetch
+        self._uid = uid
+        return worked
 
     # ------------------------------------------------------------------
     # Fetch

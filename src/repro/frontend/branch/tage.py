@@ -38,6 +38,20 @@ class _TaggedTable:
         self.table: list[_TageEntry | None] = [None] * entries
         self.hist_mask = (1 << history_len) - 1
         self.index_bits = max(1, self.mask.bit_length())
+        # Incrementally maintained folded-history registers (the classic
+        # TAGE circular-shift-register trick): ``f_idx``/``f_tag`` always
+        # equal ``fold(history, index_bits)``/``fold(history, tag_bits)``
+        # for the predictor's current global history.  XOR-folding in
+        # ``bits``-wide chunks is reduction modulo x^bits + 1 over GF(2),
+        # so a one-bit history shift updates each register in O(1):
+        # rotate-left-by-one (multiply by x), XOR in the new bit at
+        # position 0, and XOR out the bit leaving the history window at
+        # position ``history_len mod bits`` (x^L ≡ x^(L mod bits)).
+        # ``push_history`` below is the only mutator; ``fold`` stays as
+        # the O(L/bits) reference implementation that tests compare
+        # against.
+        self.f_idx = 0
+        self.f_tag = 0
 
     def entry(self, idx: int) -> _TageEntry:
         """Get-or-create the entry at ``idx`` (mutation path)."""
@@ -55,6 +69,22 @@ class _TaggedTable:
             folded ^= h & m
             h >>= bits
         return folded
+
+    def push_history(self, in_bit: int, out_bit: int) -> None:
+        """Shift one branch outcome into the folded registers.
+
+        ``in_bit`` is the new history bit; ``out_bit`` is bit
+        ``history_len - 1`` of the *pre-shift* global history — the bit
+        that falls out of this table's window after the shift.
+        """
+        b = self.index_bits
+        f = self.f_idx
+        f = ((f << 1) & self.mask) | (f >> (b - 1))
+        self.f_idx = f ^ in_bit ^ (out_bit << (self.history_len % b))
+        b = self.tag_bits
+        f = self.f_tag
+        f = ((f << 1) & self.tag_mask) | (f >> (b - 1))
+        self.f_tag = f ^ in_bit ^ (out_bit << (self.history_len % b))
 
     def index(self, pc: int, history: int) -> int:
         return ((pc >> 2) ^ self.fold(history, self.index_bits)) & self.mask
@@ -105,12 +135,15 @@ class TagePredictor:
         key = (pc, self.history)
         if self._scan_key == key:
             return self._scan_val
-        history = self.history
+        pc2 = pc >> 2
         indices = []
         tags = []
         for table in self.tables:
-            indices.append(table.index(pc, history))
-            tags.append(table.tag(pc, history))
+            # Same arithmetic as table.index()/table.tag(), but reading
+            # the incrementally maintained folded registers instead of
+            # re-folding the history window on every lookup.
+            indices.append((pc2 ^ table.f_idx) & table.mask)
+            tags.append((pc2 ^ (table.f_tag << 1)) & table.tag_mask)
         provider = None
         alt = None
         for t in range(len(self.tables) - 1, -1, -1):
@@ -190,9 +223,11 @@ class TagePredictor:
             start = (provider + 1) if provider is not None else 0
             self._allocate(pc, taken, start)
 
-        self.history = ((self.history << 1) | int(taken)) & (
-            (1 << self.history_bits) - 1
-        )
+        h = self.history
+        bit = int(taken)
+        for table in self.tables:
+            table.push_history(bit, (h >> (table.history_len - 1)) & 1)
+        self.history = ((h << 1) | bit) & ((1 << self.history_bits) - 1)
 
     def _allocate(self, pc: int, taken: bool, start: int) -> None:
         _, _, indices, tags = self._scan(pc)

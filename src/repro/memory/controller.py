@@ -79,6 +79,15 @@ class PrivateCacheController:
         self.on_external_observed: Callable[[int, Message], None] = lambda l, m: None
         self.on_invalidation: Callable[[int], None] = lambda line: None
         self.on_amo_resp: Callable[[Message], None] = lambda msg: None
+        # Hot-path hoists for access(): hit latencies are immutable params,
+        # and the three classification counters are bound lazily at the
+        # same first-increment point as the uncached code so counter-dict
+        # insertion order (serialization identity) is preserved.
+        self._l1d_hit_cycles = params.l1d.hit_cycles
+        self._l2_hit_cycles = params.l2.hit_cycles
+        self._c_l1d_hits = None
+        self._c_l2_hits = None
+        self._c_l1d_misses = None
 
     # ------------------------------------------------------------------
     # CPU-side interface
@@ -116,21 +125,27 @@ class PrivateCacheController:
         now = self.engine.now
         if not is_prefetch and pc is not None and self.prefetcher is not None:
             self.prefetcher.observe(pc, line)
-        if self.has_permission(line, excl):
-            if line in self.l1d:
-                self.l1d.touch(line)
-                lat = self.params.l1d.hit_cycles
-                self.stats.counter("l1d_hits").add()
-            elif line in self.l2:
-                self.l2.touch(line)
+        st = self.state.get(line)
+        if st is not None and (not excl or st == "E" or st == "M"):
+            # Inlined has_permission; touch() doubles as the presence
+            # probe so the hit path indexes each cache level only once.
+            if self.l1d.touch(line):
+                lat = self._l1d_hit_cycles
+                ctr = self._c_l1d_hits
+                if ctr is None:
+                    ctr = self._c_l1d_hits = self.stats.counter("l1d_hits")
+            elif self.l2.touch(line):
                 self._install_l1d(line)
-                lat = self.params.l2.hit_cycles
-                self.stats.counter("l2_hits").add()
+                lat = self._l2_hit_cycles
+                ctr = self._c_l2_hits
+                if ctr is None:
+                    ctr = self._c_l2_hits = self.stats.counter("l2_hits")
             else:  # pragma: no cover - presence must track permission
                 raise RuntimeError(
                     f"core {self.core_id}: permission without presence "
                     f"for line {line:#x}"
                 )
+            ctr.value += 1
             self.engine.schedule_in(lat, lambda: cb(now + lat, False, lat))
             return
         if is_prefetch and (line in self.mshrs or line in self.wb_buffer):
@@ -142,7 +157,10 @@ class PrivateCacheController:
                 2, lambda: self.access(line, excl, cb, is_prefetch=is_prefetch)
             )
             return
-        self.stats.counter("l1d_misses").add()
+        ctr = self._c_l1d_misses
+        if ctr is None:
+            ctr = self._c_l1d_misses = self.stats.counter("l1d_misses")
+        ctr.value += 1
         mshr = self.mshrs.get(line)
         if mshr is not None:
             if excl and not mshr.need_excl:

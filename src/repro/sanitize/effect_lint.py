@@ -11,8 +11,9 @@ enforcing one leg of the repo's timing-transparency contract:
     must stay ≤ ``READS_SIM``.
 
 ``quiescence-purity``
-    The PR-5 fast-forward spine trusts ``quiescent()``,
-    ``next_wake_cycle()`` and ``quiescence_reason()`` to be pure
+    The fast-forward spine trusts ``quiescent()``,
+    ``next_wake_cycle()``, ``quiescence_reason()`` and
+    ``wake_is_stale()`` to be pure
     queries: they are called speculatively, sometimes repeatedly, and a
     hidden state write would make cycle counts depend on *how often the
     harness asks*.  Every function they reach must stay ≤ ``READS_SIM``.
@@ -44,7 +45,15 @@ from repro.sanitize.effects import (
 from repro.sanitize.lint import LintFinding
 
 #: Function names forming the quiescence-query purity surface.
-QUIESCENCE_QUERIES = ("quiescent", "next_wake_cycle", "quiescence_reason")
+#: ``wake_is_stale`` joined in PR 8: the event pump calls it speculatively
+#: while lazily discarding stale wake-heap entries, so it carries the same
+#: ask-as-often-as-you-like contract as the original three.
+QUIESCENCE_QUERIES = (
+    "quiescent",
+    "next_wake_cycle",
+    "quiescence_reason",
+    "wake_is_stale",
+)
 #: (class, method) anchoring the determinism rule.
 DETERMINISM_ROOT = ("MulticoreSimulator", "run")
 

@@ -1,10 +1,13 @@
 """Discrete-event spine of the simulator.
 
-Cores are cycle-stepped; everything with non-unit latency (coherence
-messages, directory lookups, memory fetches, functional-unit completions)
-is an event on a single global heap.  The multicore harness uses the heap to
-fast-forward over globally idle stretches, which is what makes a pure-Python
-timing model usable at the paper's experiment scale.
+Everything with non-unit latency (coherence messages, directory lookups,
+memory fetches, functional-unit completions) is an event on a single
+global heap.  The multicore harness is a pure event pump over this heap:
+it pumps only runnable cores and jumps the clock straight to the next
+event or live core wake whenever nothing is runnable — clamped to the
+caller's cycle budget — which is what makes a pure-Python timing model
+usable at the paper's experiment scale.  The legacy cycle-stepping loop
+survives behind ``quiesce=False`` as the differential baseline.
 """
 
 from __future__ import annotations
@@ -69,7 +72,15 @@ class EventEngine:
         heapq.heappush(self._heap, (cycle, next(self._tiebreak), action))
 
     def schedule_in(self, delay: int, action: Callable[[], None]) -> None:
-        self.schedule(self.now + max(0, delay), action)
+        # A negative delay is always a latency-arithmetic bug at the call
+        # site; clamping it to "now" (as this method once did) hides the
+        # defect and silently reorders events.  Fail loudly instead.
+        if delay < 0:
+            raise ValueError(
+                f"negative event delay {delay} at cycle {self.now} — "
+                f"latency arithmetic at the call site went negative"
+            )
+        self.schedule(self.now + delay, action)
 
     def send(self, msg: Message, to_directory: bool) -> None:
         """Route a message through the mesh and deliver it as an event."""
@@ -106,7 +117,12 @@ class EventEngine:
             pop(heap)[2]()
         return True
 
-    def advance(self, idle: bool, wake_bound: int | None = None) -> None:
+    def advance(
+        self,
+        idle: bool,
+        wake_bound: int | None = None,
+        limit: int | None = None,
+    ) -> None:
         """Move the clock forward one cycle, or jump to the next event.
 
         ``idle`` means no core did (or can do) work this cycle: then nothing
@@ -117,6 +133,11 @@ class EventEngine:
         fast-forward can skip idle stretches without missing a wake.  If
         idle with an empty heap and no pending wake, the system is
         deadlocked.
+
+        ``limit`` is the caller's cycle budget: an idle jump is clamped to
+        ``limit + 1`` so a run that exhausts its budget stops *at* the
+        budget boundary instead of fast-forwarding arbitrarily far past it
+        (the harness checks ``now > max_cycles`` only after the jump).
         """
         if not idle:
             self.now += 1
@@ -126,4 +147,6 @@ class EventEngine:
             nxt = wake_bound
         if nxt is None:
             raise DeadlockError(f"no pending events at cycle {self.now}")
+        if limit is not None and nxt > limit:
+            nxt = limit + 1
         self.now = max(nxt, self.now + 1)

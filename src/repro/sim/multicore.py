@@ -8,6 +8,7 @@ paper's figures consume.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 
@@ -162,24 +163,34 @@ class MulticoreSimulator:
             self.cores.append(core)
         self._apply_warmup()
         self.quiesce = quiesce
-        # Spine instrumentation: loop iterations, core-step calls and
-        # sleep->wake transitions.  Plain ints on the hot path; exported as
-        # the ``RunResult.spine`` dict (and consumed by the perf smoke gate
-        # in ``repro check`` and by ``benchmarks/bench_spine.py``).
+        # Spine instrumentation: loop iterations, core-step calls,
+        # sleep->wake transitions, lazily discarded stale wake entries and
+        # do-nothing pump iterations.  Plain ints on the hot path; exported
+        # as the ``RunResult.spine`` dict (and consumed by the perf smoke
+        # gate in ``repro check`` and by ``benchmarks/bench_spine.py``).
         self._iterations = 0
         self._step_calls = 0
         self._wake_count = 0
+        self._stale_wakes = 0
+        self._empty_iterations = 0
         # (wake cycle, core id) min-heap mirroring every core's scheduled
         # timed wakes; its top bounds the idle fast-forward in run().
         self._wake_heap: list[tuple[int, int]] = []
+        # Runnable queue: core ids whose awake flag just went up.  The
+        # event pump drains it in core-id order instead of scanning every
+        # core every iteration; membership invariant is awake & not done
+        # (wakes of finished cores are filtered at drain time).
+        self._runq: list[int] = []
         if quiesce:
             wake_heap = self._wake_heap
+            runq = self._runq
 
             def scheduler(cycle: int, core: Core, _push=heapq.heappush) -> None:
                 _push(wake_heap, (cycle, core.core_id))
 
-            def sink(core: Core) -> None:
+            def sink(core: Core, _push=heapq.heappush) -> None:
                 self._wake_count += 1
+                _push(runq, core.core_id)
 
             for core in self.cores:
                 core._wake_scheduler = scheduler
@@ -239,10 +250,23 @@ class MulticoreSimulator:
         """
         engine = self.engine
         cores = self.cores
-        if self.quiesce:
-            self._run_quiesced(max_cycles)
-        else:
-            self._run_always_step(max_cycles)
+        # The run loop allocates millions of short-lived tuples, closures
+        # and DynInstrs; generational GC passes over them are pure
+        # overhead (everything reachable stays reachable until the run
+        # ends).  Pause automatic collection for the duration — the
+        # reference cycles DynInstr consumer lists create are reclaimed
+        # by the collector once it is re-enabled.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if self.quiesce:
+                self._run_quiesced(max_cycles)
+            else:
+                self._run_always_step(max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if self.sanitizer is not None:
             self.sanitizer.final_check()
         breakdown = AtomicLatencyBreakdown()
@@ -272,7 +296,16 @@ class MulticoreSimulator:
         )
 
     def spine_snapshot(self) -> dict:
-        """Scheduler counters: how much stepping the spine avoided."""
+        """Scheduler counters: how much stepping the spine avoided.
+
+        Accurate after *every* exit path — normal completion, deadlock and
+        budget abort all flush the loop-local counters (the abort paths
+        used to lose them).  ``stale_wakes`` counts wake-heap entries
+        lazily discarded because their core finished or their wake was
+        already retired; ``empty_iterations`` counts pump passes that ran
+        no event, fired no wake and pumped no core (a healthy event pump
+        reports zero — ``repro check`` gates on it).
+        """
         possible = self._iterations * len(self.cores)
         skipped = possible - self._step_calls
         return {
@@ -283,70 +316,134 @@ class MulticoreSimulator:
             "skipped_steps": skipped,
             "skipped_fraction": (skipped / possible) if possible else 0.0,
             "wakes": self._wake_count,
+            "stale_wakes": self._stale_wakes,
+            "empty_iterations": self._empty_iterations,
         }
 
     def _run_quiesced(self, max_cycles: int) -> None:
-        """Quiescence-aware main loop: step only awake cores.
+        """Pure event pump: run due events, fire due wakes, pump runnables.
 
-        A core whose step does no work leaves the runnable set until
+        Nothing is polled.  Each pass drains the engine heap at ``now``,
+        retires due timed wakes (lazily discarding stale entries for
+        finished cores or wakes an earlier firing already consumed), then
+        pumps exactly the cores whose wake flag is up — in core-id order,
+        via the runnable queue the wake sink feeds — through
+        :meth:`Core.pump`, the batched-kernel twin of ``step``.  A core
+        whose pump does no work leaves the runnable queue until
         ``note_activity`` re-raises its ``awake`` flag (message delivery,
-        completion callbacks) or a scheduled timed wake comes due.  The
-        idle fast-forward is bounded by the wake heap so a sleeping core's
-        scheduled resume is never overshot.  Timing-transparent vs. the
-        always-step loop: see docs/performance.md for the invariant.
+        completion callbacks) or a scheduled timed wake comes due; cross-
+        core effects travel only through strictly-future events, so no new
+        runnable entries can appear mid-batch.  The idle fast-forward is
+        bounded by the (stale-pruned) wake heap and clamped to the cycle
+        budget, so the pump never visits a cycle it has nothing to do in
+        and never overshoots ``max_cycles`` by more than one bound check.
+        Timing-transparent vs. the always-step loop: see
+        docs/performance.md for the invariant.
         """
         engine = self.engine
         cores = self.cores
         wake_heap = self._wake_heap
-        pop_wake = heapq.heappop
+        runq = self._runq
+        pop = heapq.heappop
+        push = heapq.heappush
         run_events = engine.run_events
+        advance = engine.advance
         prune_at = 100_000
         iterations = 0
         step_calls = 0
-        while True:
-            run_events()
-            now = engine.now
-            # Retire timed wakes that are due before cores step this cycle.
-            while wake_heap and wake_heap[0][0] <= now:
-                cores[pop_wake(wake_heap)[1]].fire_due_wakes(now)
-            iterations += 1
-            any_work = False
-            all_done = True
-            for core in cores:
-                if core.awake and not core.done:
-                    step_calls += 1
-                    if core.step(now):
-                        any_work = True
-                    else:
-                        core.awake = False
-                if not core.done:
-                    all_done = False
-            if all_done:
-                break
-            if now > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"(program {self.program.name!r})"
-                )
-            if now > prune_at:
-                self.network.prune(now - 10_000)
-                prune_at = now + 100_000
-            try:
-                engine.advance(
-                    idle=not any_work,
-                    wake_bound=wake_heap[0][0] if wake_heap else None,
-                )
-            except DeadlockError as exc:
-                self._iterations += iterations
-                self._step_calls += step_calls
-                reasons = {c.core_id: c.quiescence_reason() for c in cores}
-                raise DeadlockError(
-                    f"{exc} — program {self.program.name!r}, "
-                    f"cores done: {[c.done for c in cores]}, "
-                    f"quiescence: {reasons}"
-                ) from exc
-        self._iterations += iterations
-        self._step_calls += step_calls
+        stale_wakes = 0
+        empty_iterations = 0
+        remaining = sum(1 for c in cores if not c.done)
+        for core in cores:
+            if core.awake and not core.done:
+                push(runq, core.core_id)
+        try:
+            while True:
+                events_ran = run_events()
+                now = engine.now
+                # Retire timed wakes due this cycle; discard stale entries.
+                fired = False
+                while wake_heap and wake_heap[0][0] <= now:
+                    cycle, cid = pop(wake_heap)
+                    core = cores[cid]
+                    if core.wake_is_stale(cycle):
+                        stale_wakes += 1
+                        continue
+                    core.fire_due_wakes(now)
+                    fired = True
+                iterations += 1
+                any_work = False
+                pumped = False
+                if runq:
+                    # Snapshot the runnable queue in core-id order.  Pumps
+                    # cannot wake other cores synchronously (cross-core
+                    # effects are strictly-future events), so entries
+                    # pushed while pumping belong to the next pass.
+                    batch = []
+                    while runq:
+                        core = cores[pop(runq)]
+                        if core.awake and not core.done:
+                            batch.append(core)
+                    for core in batch:
+                        pumped = True
+                        step_calls += 1
+                        if core.pump(now):
+                            any_work = True
+                        else:
+                            core.awake = False
+                        if core.done:
+                            remaining -= 1
+                        elif core.awake:
+                            push(runq, core.core_id)
+                if remaining == 0:
+                    break
+                if not (events_ran or fired or pumped):
+                    empty_iterations += 1
+                if now > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"(program {self.program.name!r})"
+                    )
+                if now > prune_at:
+                    self.network.prune(now - 10_000)
+                    prune_at = now + 100_000
+                # Lazily prune stale heads so the idle jump never targets
+                # a dead cycle (a wake bound for a finished core used to
+                # stall the fast-forward at cycles where nothing happens).
+                while wake_heap and cores[wake_heap[0][1]].wake_is_stale(
+                    wake_heap[0][0]
+                ):
+                    pop(wake_heap)
+                    stale_wakes += 1
+                try:
+                    # Idle-jump whenever no core is runnable: an empty
+                    # runq means nothing can happen until the next event
+                    # or wake even if this pass did work, so jumping is
+                    # timing-transparent and the pump never burns a pass
+                    # on a cycle with nothing due (``empty_iterations``
+                    # stays structurally zero).
+                    advance(
+                        idle=not runq,
+                        wake_bound=wake_heap[0][0] if wake_heap else None,
+                        limit=max_cycles,
+                    )
+                except DeadlockError as exc:
+                    reasons = {
+                        c.core_id: c.quiescence_reason() for c in cores
+                    }
+                    raise DeadlockError(
+                        f"{exc} — program {self.program.name!r}, "
+                        f"cores done: {[c.done for c in cores]}, "
+                        f"quiescence: {reasons}"
+                    ) from exc
+        finally:
+            # Every exit path — normal completion, deadlock, budget
+            # abort — flushes the loop-local counters so spine_snapshot()
+            # stays accurate (the RuntimeError path used to lose them).
+            self._iterations += iterations
+            self._step_calls += step_calls
+            self._stale_wakes += stale_wakes
+            self._empty_iterations += empty_iterations
 
     def _run_always_step(self, max_cycles: int) -> None:
         """Legacy loop: every core steps every cycle.
@@ -359,38 +456,40 @@ class MulticoreSimulator:
         cores = self.cores
         prune_at = 100_000
         iterations = 0
-        while True:
-            engine.run_events()
-            now = engine.now
-            iterations += 1
-            any_work = False
-            all_done = True
-            for core in cores:
-                if core.step(now):
-                    any_work = True
-                if not core.done:
-                    all_done = False
-            if all_done:
-                break
-            if now > max_cycles:
-                raise RuntimeError(
-                    f"simulation exceeded {max_cycles} cycles "
-                    f"(program {self.program.name!r})"
-                )
-            if now > prune_at:
-                self.network.prune(now - 10_000)
-                prune_at = now + 100_000
-            try:
-                engine.advance(idle=not any_work)
-            except DeadlockError as exc:
-                self._iterations += iterations
-                self._step_calls += iterations * len(cores)
-                raise DeadlockError(
-                    f"{exc} — program {self.program.name!r}, "
-                    f"cores done: {[c.done for c in cores]}"
-                ) from exc
-        self._iterations += iterations
-        self._step_calls += iterations * len(cores)
+        try:
+            while True:
+                engine.run_events()
+                now = engine.now
+                iterations += 1
+                any_work = False
+                all_done = True
+                for core in cores:
+                    if core.step(now):
+                        any_work = True
+                    if not core.done:
+                        all_done = False
+                if all_done:
+                    break
+                if now > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"(program {self.program.name!r})"
+                    )
+                if now > prune_at:
+                    self.network.prune(now - 10_000)
+                    prune_at = now + 100_000
+                try:
+                    engine.advance(idle=not any_work, limit=max_cycles)
+                except DeadlockError as exc:
+                    raise DeadlockError(
+                        f"{exc} — program {self.program.name!r}, "
+                        f"cores done: {[c.done for c in cores]}"
+                    ) from exc
+        finally:
+            # Flush on every exit path so spine_snapshot() stays accurate
+            # after a budget abort (which used to lose the counters).
+            self._iterations += iterations
+            self._step_calls += iterations * len(cores)
 
 
 def simulate(

@@ -139,10 +139,10 @@ class TestSeededDefects:
         root = mutate(
             tmp_path,
             "sim/multicore.py",
-            "            for core in cores:\n"
-            "                if core.awake and not core.done:",
-            "            for core in set(cores):\n"
-            "                if core.awake and not core.done:",
+            "        for core in cores:\n"
+            "            if core.awake and not core.done:",
+            "        for core in set(cores):\n"
+            "            if core.awake and not core.done:",
         )
         findings = [f for f in run_lint(root) if f.rule == "determinism"]
         assert findings, "planted set-order iteration not caught"
@@ -170,11 +170,11 @@ class TestPragmas:
         root = mutate(
             tmp_path,
             "sim/multicore.py",
-            "            for core in cores:\n"
-            "                if core.awake and not core.done:",
-            "            for core in set(cores):"
+            "        for core in cores:\n"
+            "            if core.awake and not core.done:",
+            "        for core in set(cores):"
             "  # repro: effect[nondet] -- deliberate, order-insensitive\n"
-            "                if core.awake and not core.done:",
+            "            if core.awake and not core.done:",
         )
         findings = run_lint(root)
         assert not [f for f in findings if f.rule == "determinism"]
@@ -184,10 +184,10 @@ class TestPragmas:
         root = mutate(
             tmp_path,
             "sim/multicore.py",
-            "            for core in cores:\n"
-            "                if core.awake and not core.done:",
-            "            for core in set(cores):\n"
-            "                if core.awake and not core.done:",
+            "        for core in cores:\n"
+            "            if core.awake and not core.done:",
+            "        for core in set(cores):\n"
+            "            if core.awake and not core.done:",
         )
         mutate(
             tmp_path,

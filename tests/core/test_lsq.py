@@ -82,7 +82,7 @@ class TestFindStoreMatch:
         for st, resolved in stores:
             dyn = DynInstr(st, uid=uid, fetch_cycle=0)
             dyn.addr_computed = resolved
-            lsq.sb.append(dyn)
+            lsq.enqueue(dyn)
             uid += 1
         return lsq
 

@@ -38,10 +38,19 @@ class TestScheduling:
         with pytest.raises(ValueError):
             eng.schedule(5, lambda: None)
 
-    def test_schedule_in_clamps_negative_delay(self):
+    def test_schedule_in_rejects_negative_delay(self):
+        # The old behavior clamped to "now", which silently hid
+        # latency-arithmetic bugs at call sites and reordered events.
         eng = make_engine()
         eng.now = 10
-        eng.schedule_in(-5, lambda: None)  # clamped to now
+        with pytest.raises(ValueError, match="negative event delay -5"):
+            eng.schedule_in(-5, lambda: None)
+        assert eng.next_event_cycle is None  # nothing was enqueued
+
+    def test_schedule_in_zero_delay_is_legal(self):
+        eng = make_engine()
+        eng.now = 10
+        eng.schedule_in(0, lambda: None)
         assert eng.next_event_cycle == 10
 
     def test_run_events_returns_whether_any_ran(self):
@@ -74,6 +83,26 @@ class TestAdvance:
         eng = make_engine()
         with pytest.raises(DeadlockError):
             eng.advance(idle=True)
+
+    def test_idle_jump_clamped_to_limit(self):
+        # An idle jump past the caller's cycle budget stops at the budget
+        # boundary (limit + 1) instead of fast-forwarding to the event.
+        eng = make_engine()
+        eng.schedule(1000, lambda: None)
+        eng.advance(idle=True, limit=10)
+        assert eng.now == 11
+
+    def test_idle_jump_within_limit_unclamped(self):
+        eng = make_engine()
+        eng.schedule(8, lambda: None)
+        eng.advance(idle=True, limit=10)
+        assert eng.now == 8
+
+    def test_wake_bound_caps_idle_jump(self):
+        eng = make_engine()
+        eng.schedule(100, lambda: None)
+        eng.advance(idle=True, wake_bound=40)
+        assert eng.now == 40
 
 
 class TestMessaging:
