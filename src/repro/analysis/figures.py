@@ -59,10 +59,40 @@ def _planner():
     return planner
 
 
+#: When set (CLI ``figure --consistency``), every grid campaign a figure
+#: loads gets its configs re-pinned to this consistency model, so a whole
+#: figure can be regenerated under RELAXED without touching the specs.
+_CONSISTENCY_OVERRIDE: str | None = None
+
+
+def set_consistency_override(model: str | None) -> None:
+    global _CONSISTENCY_OVERRIDE
+    _CONSISTENCY_OVERRIDE = model
+
+
 def _campaign(name: str):
+    import dataclasses
+
     from repro.service.schema import load_named_campaign
 
-    return load_named_campaign(name)
+    camp = load_named_campaign(name)
+    if _CONSISTENCY_OVERRIDE is not None and camp.kind == "grid":
+        camp = dataclasses.replace(
+            camp,
+            grids=tuple(
+                dataclasses.replace(
+                    grid,
+                    configs=tuple(
+                        dataclasses.replace(
+                            c, consistency=_CONSISTENCY_OVERRIDE
+                        )
+                        for c in grid.configs
+                    ),
+                )
+                for grid in camp.grids
+            ),
+        )
+    return camp
 
 
 def _label(workload) -> str:

@@ -8,13 +8,21 @@ campaign   run or validate a declarative campaign spec (campaigns/*.yaml)
 serve      the sharded campaign service over HTTP (resumes on restart)
 client     submit/status/fetch against a running ``repro serve``
 microbench run the Sec. II-A fence microbenchmark
+litmus     run litmus programs against the exhaustive-interleaving oracle
 list       list workloads and figures
 sweep      sweep a workload knob (hot_fraction / atomics_per_10k)
 validate   check the paper's qualitative claims end to end
 profile    cProfile one simulation run (top-N by cumulative time)
 lint       static protocol/convention/architecture/effect lint
 effects    dump the interprocedural effect summary (and effect findings)
-check      lint + golden + perf + campaign gate + tier-1 tests (CI gate)
+check      lint + golden + perf + campaign + litmus gates + tier-1 tests
+
+``run``, ``figure`` and ``sweep`` accept ``--consistency {tso,relaxed}``
+to select the memory consistency model
+(:mod:`repro.core.consistency`); ``litmus`` cross-validates the
+simulator against the per-model interleaving oracle
+(:mod:`repro.analysis.litmuscheck`) and shares the lint exit-code
+contract below.
 
 ``figure``, ``campaign run``, ``sweep`` and ``validate`` accept
 ``--jobs/-j N`` to fan the (workload × config × seed) job grid across
@@ -91,6 +99,17 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_consistency(parser: argparse.ArgumentParser) -> None:
+    from repro.common.params import ConsistencyKind
+
+    parser.add_argument(
+        "--consistency",
+        choices=[k.value for k in ConsistencyKind],
+        default=ConsistencyKind.TSO.value,
+        help="memory consistency model (default tso)",
+    )
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-j",
@@ -138,7 +157,7 @@ def _params(args) -> SystemParams:
 
 
 def cmd_run(args) -> int:
-    params = _params(args)
+    params = _params(args).with_consistency_model(args.consistency)
     program = build_program(
         args.workload, min(args.threads, params.num_cores), args.instructions,
         seed=args.seed,
@@ -354,6 +373,8 @@ def _check_campaigns() -> int:
             campaign = schema.load_campaign(path)
             if campaign.kind == "microbench":
                 jobs += len(planner.expand_microbench(campaign))
+            elif campaign.kind == "litmus":
+                jobs += len(planner.expand_litmus(campaign))
             else:
                 jobs += len(planner.expand_campaign(campaign))
         except schema.CampaignError as exc:
@@ -392,9 +413,27 @@ def _check_campaigns() -> int:
     return 0
 
 
+def _check_litmus() -> int:
+    """Cross-validate the simulator against the litmus oracle under
+    every consistency model (incl. the relaxed-only demonstrations)."""
+    from repro.analysis.litmuscheck import check_all, format_report
+
+    rc = 0
+    for report in check_all():
+        print(format_report(report))
+        if not report.ok:
+            rc = 1
+    if rc:
+        print(
+            "litmus gate failed: the timing model reached an outcome the"
+            " consistency model forbids (or lost a relaxed-only one)"
+        )
+    return rc
+
+
 def cmd_check(args) -> int:
     """The CI gate: lint, golden bit-identity, perf smoke, campaign
-    specs plus an e2e smoke campaign, tier-1 tests.
+    specs plus an e2e smoke campaign, litmus oracle, tier-1 tests.
 
     Exit codes follow the lint contract: 0 all gates pass, 1 any gate
     fails (including the lint wall-clock budget), 2 usage error.
@@ -436,19 +475,30 @@ def cmd_check(args) -> int:
             " campaign should stay interactive-fast"
         )
         campaign_rc = campaign_rc or 1
+    print("== litmus ==")
+    litmus_rc = _check_litmus()
     print("== tier-1 tests ==")
     cmd = [sys.executable, "-m", "pytest", "-x", "-q"] + (
         args.pytest_args or ["tests"]
     )
     test_rc = subprocess.call(cmd)
-    return lint_rc or golden_rc or perf_rc or campaign_rc or test_rc
+    return (
+        lint_rc or golden_rc or perf_rc or campaign_rc or litmus_rc or test_rc
+    )
 
 
 def cmd_figure(args) -> int:
+    from repro.analysis import figures
+
     fn = ALL_FIGURES[args.figure]
     scale = _resolve_scale(args)
     runner = _runner(args)
-    fig = fn(scale, runner=runner)
+    if args.consistency != "tso":
+        figures.set_consistency_override(args.consistency)
+    try:
+        fig = fn(scale, runner=runner)
+    finally:
+        figures.set_consistency_override(None)
     print(fig.render())
     print(f"repro: {runner.summary()}", file=sys.stderr)
     if args.output:
@@ -549,6 +599,8 @@ def cmd_campaign(args) -> int:
                 campaign = schema.load_campaign(path)
                 if campaign.kind == "microbench":
                     jobs = len(planner.expand_microbench(campaign))
+                elif campaign.kind == "litmus":
+                    jobs = len(planner.expand_litmus(campaign))
                 else:
                     jobs = len(planner.expand_campaign(campaign))
             except schema.CampaignError as exc:
@@ -574,6 +626,17 @@ def cmd_campaign(args) -> int:
         scale = planner.campaign_scale(campaign, args.scale)
     except ValueError as exc:
         raise UsageError(str(exc)) from exc
+    if campaign.kind == "litmus":
+        from repro.analysis.litmuscheck import check_model, format_report
+
+        rc = 0
+        for model in campaign.models:
+            report = check_model(model, tests=list(campaign.programs))
+            print(format_report(report))
+            if not report.ok:
+                rc = 1
+        _campaign_output(campaign, scale, None)
+        return rc
     if campaign.kind == "microbench":
         from repro.analysis.figures import MACHINE_PARAMS
 
@@ -668,6 +731,36 @@ def cmd_microbench(args) -> int:
     return 0
 
 
+def cmd_litmus(args) -> int:
+    """Run litmus programs and compare against the interleaving oracle.
+
+    Exit 0 when every simulator outcome is oracle-allowed (and, with
+    ``--check``, every relaxed-only outcome was demonstrated), 1 on a
+    violation or missing demonstration, 2 on an unknown program/model.
+    """
+    from repro.analysis.litmuscheck import check_model, format_report
+    from repro.workloads.litmus_oracle import LITMUS_TESTS
+
+    models = args.model or ["tso", "relaxed"]
+    programs = args.program or None
+    if programs is not None:
+        unknown = sorted(set(programs) - set(LITMUS_TESTS))
+        if unknown:
+            raise UsageError(
+                f"unknown litmus program(s) {', '.join(unknown)}; valid:"
+                f" {', '.join(sorted(LITMUS_TESTS))}"
+            )
+    rc = 0
+    for model in models:
+        report = check_model(model, tests=programs)
+        print(format_report(report))
+        if report.violations:
+            rc = 1
+        elif args.check and not report.ok:
+            rc = 1
+    return rc
+
+
 def cmd_list(_args) -> int:
     rows = [
         [name, p.atomics_per_10k, "yes" if p.atomic_intensive else "no", p.description[:58]]
@@ -678,7 +771,10 @@ def cmd_list(_args) -> int:
             "workloads", ["name", "atomics/10k", "intensive", "description"], rows
         )
     )
+    from repro.workloads.litmus_oracle import LITMUS_TESTS
+
     print("figures:", ", ".join(sorted(ALL_FIGURES)))
+    print("litmus:", ", ".join(sorted(LITMUS_TESTS)))
     print(
         "hint: figure/sweep/validate accept -j/--jobs N (parallel workers),"
         " --cache-dir DIR and --no-cache (persistent result cache)"
@@ -698,6 +794,10 @@ def _sweep_campaign(args):
     )
 
     values = [float(v) for v in args.values.split(",")]
+    # A non-default model is pinned per config (and thus serialized by
+    # --emit-campaign); the default stays implicit so existing sweep
+    # specs round-trip unchanged.
+    consistency = None if args.consistency == "tso" else args.consistency
     grid = GridSpec(
         workloads=tuple(
             WorkloadSpec(
@@ -708,8 +808,10 @@ def _sweep_campaign(args):
             for value in values
         ),
         configs=(
-            ConfigSpec(name="eager", mode="eager"),
-            ConfigSpec(name="lazy", mode="lazy"),
+            ConfigSpec(
+                name="eager", mode="eager", consistency=consistency
+            ),
+            ConfigSpec(name="lazy", mode="lazy", consistency=consistency),
         ),
         seeds=tuple(range(args.seeds)),
         num_threads=args.threads,
@@ -939,6 +1041,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime protocol invariant checkers",
     )
     _add_common(p_run)
+    _add_consistency(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_lint = sub.add_parser(
@@ -989,6 +1092,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("figure", choices=sorted(ALL_FIGURES))
     _add_scale(p_fig)
+    _add_consistency(p_fig)
     _add_runner_flags(p_fig)
     p_fig.add_argument("--output", help="also write the table to a file")
     p_fig.set_defaults(fn=cmd_figure)
@@ -997,6 +1101,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_micro.add_argument("--machine", choices=("old", "new"), default="new")
     p_micro.add_argument("--iterations", type=int, default=600)
     p_micro.set_defaults(fn=cmd_microbench)
+
+    p_litmus = sub.add_parser(
+        "litmus",
+        help="litmus programs vs the exhaustive-interleaving oracle",
+    )
+    p_litmus.add_argument(
+        "--model",
+        action="append",
+        choices=("tso", "relaxed"),
+        help="consistency model(s) to run (default: both)",
+    )
+    p_litmus.add_argument(
+        "--program",
+        action="append",
+        metavar="NAME",
+        help="litmus program(s) to run (default: all; see repro list)",
+    )
+    p_litmus.add_argument(
+        "--check",
+        action="store_true",
+        help="also fail when a relaxed-only outcome was never demonstrated",
+    )
+    p_litmus.set_defaults(fn=cmd_litmus)
 
     p_list = sub.add_parser("list", help="list workloads and figures")
     p_list.set_defaults(fn=cmd_list)
@@ -1092,6 +1219,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep as a campaign spec instead of running it",
     )
     _add_common(p_sweep)
+    _add_consistency(p_sweep)
     _add_runner_flags(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 

@@ -51,6 +51,37 @@ class AtomicMode(enum.Enum):
             ) from None
 
 
+class ConsistencyKind(enum.Enum):
+    """Which memory-consistency model the cores implement.
+
+    TSO is the paper's (x86) baseline: loads ordered with loads, stores
+    drain in FIFO order, only store->load reordering (through the store
+    buffer) is visible.  RELAXED is a WMM-style weak model (Zhang/
+    Vijayaraghavan/Arvind, *Taming Weak Memory Models*): load-load and
+    store-store reordering are additionally permitted, and only fences
+    (and same-address program order) restore order.  The enum is the
+    params-level name; the operational rules live in
+    ``repro.core.consistency`` behind the :class:`ConsistencyModel`
+    protocol.
+    """
+
+    TSO = "tso"
+    RELAXED = "relaxed"
+
+    @classmethod
+    def from_name(cls, name: "str | ConsistencyKind") -> "ConsistencyKind":
+        """Resolve a model by value name (``"tso"``) or pass one through."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name)
+        except ValueError:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown consistency model {name!r} (valid: {valid})"
+            ) from None
+
+
 class DetectionMode(enum.Enum):
     """Contention-detection mechanism used to train the RoW predictor.
 
@@ -191,6 +222,9 @@ class SystemParams:
     link_bandwidth: int = 2  # messages per link per cycle
     model_link_contention: bool = True
 
+    # Memory consistency (docs/consistency.md)
+    consistency_model: ConsistencyKind = ConsistencyKind.TSO
+
     # Atomics
     atomic_mode: AtomicMode = AtomicMode.EAGER
     row: RowParams = field(default_factory=RowParams)
@@ -276,6 +310,13 @@ class SystemParams:
     def with_atomic_mode(self, mode: AtomicMode, **row_overrides) -> "SystemParams":
         row = replace(self.row, **row_overrides) if row_overrides else self.row
         return replace(self, atomic_mode=mode, row=row)
+
+    def with_consistency_model(
+        self, model: "ConsistencyKind | str"
+    ) -> "SystemParams":
+        return replace(
+            self, consistency_model=ConsistencyKind.from_name(model)
+        )
 
     def validate(self) -> None:
         """Raise ``ValueError`` on configurations the model cannot support."""

@@ -17,6 +17,12 @@ from repro.core.atomic_policy import (
     RowPolicy,
     make_policy,
 )
+from repro.core.consistency import (
+    ConsistencyModel,
+    RelaxedModel,
+    TSOModel,
+    make_model,
+)
 from repro.core.dyninstr import AQEntry, DynInstr
 from repro.core.lsq import LoadStoreUnit
 from repro.core.pipeline import Core
@@ -27,6 +33,7 @@ from repro.core.storeset import StoreSetPredictor
 __all__ = [
     "AQEntry",
     "AtomicPolicyBase",
+    "ConsistencyModel",
     "Core",
     "CoreServices",
     "DynInstr",
@@ -39,7 +46,10 @@ __all__ = [
     "MemoryPort",
     "OraclePolicy",
     "RecoveryUnit",
+    "RelaxedModel",
     "RowPolicy",
     "StoreSetPredictor",
+    "TSOModel",
+    "make_model",
     "make_policy",
 ]

@@ -163,15 +163,11 @@ class AtomicPolicyBase:
         return budget, worked
 
     def lazy_ready(self, dyn: DynInstr) -> bool:
-        """Oldest memory instruction (LQ head) with the SB drained down to
-        the atomic's own store_unlock."""
+        """Is the parked lazy atomic's turn up?  The consistency model
+        decides (TSO: LQ head with the SB drained down to the atomic's
+        own store_unlock; RELAXED: only older same-line stores)."""
         lsq = self.lsq
-        return (
-            bool(lsq.lq)
-            and lsq.lq[0] is dyn
-            and bool(lsq.sb)
-            and lsq.sb[0] is dyn
-        )
+        return self.core.consistency.atomic_lazy_ready(dyn, lsq.lq, lsq.sb)
 
     def issue_full(self, dyn: DynInstr, now: int) -> None:
         entry = dyn.aq_entry

@@ -50,6 +50,11 @@ class LoadStoreUnit:
         params = core.params
         self.params = params
         self.stats = core.stats
+        # Ordering decisions delegate to the core's consistency model.
+        # ``load_load_ordered`` is a per-model constant, so the snoop
+        # gate is cached here instead of queried per invalidation.
+        self.model = core.consistency
+        self._snoop_on_inv = self.model.load_load_ordered()
 
         self.lq: deque[DynInstr] = deque()
         self.sb: deque[DynInstr] = deque()
@@ -294,51 +299,65 @@ class LoadStoreUnit:
     # ------------------------------------------------------------------
 
     def drain_sb(self, now: int) -> bool:
-        if not self.sb:
+        """Drain one SB entry if the consistency model and the coherence
+        state allow it.  The model picks the candidates (TSO: the
+        committed head only; RELAXED: any committed store not blocked by
+        an older same-line entry or an atomic); this unit performs the
+        writes and the permission traffic."""
+        sb = self.sb
+        if not sb:
             return False
-        head = self.sb[0]
-        if not head.committed:
-            return False
-        line = head.line
         policy = self.policy
         assert policy is not None
-        if head.cls is InstrClass.ATOMIC:
-            if self.core.mode is not AtomicMode.FAR:
-                # The line is locked and owned: the write happens immediately.
-                self.core.image.write(head.addr, head.new_mem_value)
-            # (far atomics already wrote at the home bank)
-            policy.unlock(head, now)
-            self.sb.popleft()
-            head.in_sb = False
-            self.wake_drain_waiters(head)
-            return True
-        # Plain store: needs M permission to write.
         port = self.core.port
-        if port.has_permission(line, excl=True):
-            port.mark_dirty(line)
-            self.core.image.write(head.addr, head.static.operand)
+        worked = False
+        for entry in self.model.drain_candidates(sb):
+            if entry.cls is InstrClass.ATOMIC:
+                if self.core.mode is not AtomicMode.FAR:
+                    # The line is locked and owned: the write happens
+                    # immediately.  (Far atomics already wrote at the
+                    # home bank.)
+                    self.core.image.write(entry.addr, entry.new_mem_value)
+                policy.unlock(entry, now)
+                self._remove_sb_entry(entry)
+                self.wake_drain_waiters(entry)
+                return True
+            # Plain store: needs M permission to write.
+            line = entry.line
+            if port.has_permission(line, excl=True):
+                port.mark_dirty(line)
+                self.core.image.write(entry.addr, entry.static.operand)
+                self._remove_sb_entry(entry)
+                ctr = self._c_stores_drained
+                if ctr is None:
+                    ctr = self._c_stores_drained = self.stats.counter(
+                        "stores_drained"
+                    )
+                ctr.value += 1
+                self.wake_drain_waiters(entry)
+                return True
+            if not entry.write_requested:
+                entry.write_requested = True
+
+                def granted(*_args, d=entry) -> None:
+                    # Permission may be stolen again before the write
+                    # happens; clearing the flag lets the drain loop
+                    # re-request.
+                    d.write_requested = False
+                    self.core.note_activity()
+
+                port.access(line, excl=True, cb=granted)
+                worked = True
+        return worked
+
+    def _remove_sb_entry(self, entry: DynInstr) -> None:
+        """Retire a drained entry; under relaxed drain it may sit behind
+        the head (TSO only ever drains the head)."""
+        if self.sb[0] is entry:
             self.sb.popleft()
-            head.in_sb = False
-            ctr = self._c_stores_drained
-            if ctr is None:
-                ctr = self._c_stores_drained = self.stats.counter(
-                    "stores_drained"
-                )
-            ctr.value += 1
-            self.wake_drain_waiters(head)
-            return True
-        if not head.write_requested:
-            head.write_requested = True
-
-            def granted(*_args, d=head) -> None:
-                # Permission may be stolen again before the write happens;
-                # clearing the flag lets the drain loop re-request.
-                d.write_requested = False
-                self.core.note_activity()
-
-            port.access(line, excl=True, cb=granted)
-            return True
-        return False
+        else:
+            self.sb.remove(entry)
+        entry.in_sb = False
 
     def park_until_drained(self, blocker: DynInstr, atomic: DynInstr) -> None:
         """An atomic must wait for an older matching store/atomic to drain
@@ -359,7 +378,11 @@ class LoadStoreUnit:
 
     def check_violations(self, store_dyn: DynInstr, now: int) -> None:
         """A store/atomic resolved its address: squash younger loads that
-        consumed (or will consume) a stale memory value (store-set miss)."""
+        consumed (or will consume) a stale memory value (store-set miss).
+
+        Deliberately model-independent: same-address program order is
+        per-location coherence, which every consistency model (including
+        RELAXED) preserves — see ``repro.core.consistency``."""
         addr = store_dyn.static.addr
         victim = None
         # Same address implies same line, so the per-line bucket covers
@@ -417,9 +440,16 @@ class LoadStoreUnit:
         )
 
     def on_invalidation(self, line: int) -> None:
-        """LQ snoop on an external invalidation (TSO): squash completed but
-        uncommitted loads that read the invalidated line from memory."""
+        """LQ snoop on an external invalidation: squash completed but
+        uncommitted loads that read the invalidated line from memory.
+
+        This walk is what makes loads *appear* in-order — so it runs only
+        when the consistency model orders loads with loads (TSO).  Under
+        RELAXED the early read simply stands: that is the permitted
+        load-load reordering."""
         self.core.note_activity()
+        if not self._snoop_on_inv:
+            return
         victim = None
         bucket = self._lq_by_line.get(line)
         if bucket is None:

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.common.params import SystemParams
 from repro.common.stats import AtomicLatencyBreakdown, StatGroup
 from repro.core.atomic_policy import RowPolicy, make_policy
+from repro.core.consistency import make_model
 from repro.core.dyninstr import AQEntry, DynInstr
 from repro.core.lsq import LoadStoreUnit
 from repro.core.recovery import RecoveryUnit
@@ -140,6 +141,9 @@ class Core:
         self.load_values: dict[int, int] = {}
 
         # Subsystem units (built in dependency order, then cross-wired).
+        # The consistency model comes first: the LSQ, policy and recovery
+        # units all delegate their ordering decisions to it.
+        self.consistency = make_model(params.consistency_model)
         self.lsq = LoadStoreUnit(self)
         self.recovery = RecoveryUnit(self)
         self.policy = make_policy(self, self.lsq, self.recovery)
@@ -447,6 +451,7 @@ class Core:
         ctr = self._c_committed
         atomic = InstrClass.ATOMIC
         load = InstrClass.LOAD
+        commit_ready = self.consistency.atomic_commit_ready
         worked = False
         while budget and rob:
             head = rob[0]
@@ -454,10 +459,9 @@ class Core:
                 break
             cls = head.cls
             if cls is atomic:
-                # Total order for x86 atomics: drain the SB before leaving
-                # the ROB — the atomic's own store_unlock must be at the
-                # SB head (everything older already wrote).
-                if not sb or sb[0] is not head:
+                # The model decides when an atomic may leave the ROB
+                # (both shipped models: its own store_unlock at SB head).
+                if not commit_ready(head, sb):
                     break
             head.committed = True
             head.commit_cycle = now
@@ -866,10 +870,9 @@ class Core:
             if not head.completed:
                 break
             if head.cls is InstrClass.ATOMIC:
-                # Total order for x86 atomics: drain the SB before leaving
-                # the ROB — the atomic's own store_unlock must be at the
-                # SB head (everything older already wrote).
-                if not lsq.sb or lsq.sb[0] is not head:
+                # The model decides when an atomic may leave the ROB
+                # (both shipped models: its own store_unlock at SB head).
+                if not self.consistency.atomic_commit_ready(head, lsq.sb):
                     break
             head.committed = True
             head.commit_cycle = now

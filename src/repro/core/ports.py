@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from repro.common.params import SystemParams
     from repro.common.stats import StatGroup
+    from repro.core.consistency import ConsistencyModel
     from repro.core.dyninstr import DynInstr
     from repro.obs.tracer import Tracer
 
@@ -125,6 +126,7 @@ class CoreServices(Protocol):
 
     core_id: int
     params: "SystemParams"
+    consistency: "ConsistencyModel"
     stats: "StatGroup"
     breakdown: object
     tracer: "Tracer | None"

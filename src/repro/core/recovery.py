@@ -73,8 +73,8 @@ class RecoveryUnit:
             if fence.squashed:
                 self.fences_active.pop(0)
                 continue
-            satisfied = not any(
-                entry.seq < fence.seq for entry in lsq.sb
+            satisfied = self.core.consistency.fence_satisfied(
+                fence, lsq.sb
             ) and self.older_memory_done(fence)
             if not satisfied:
                 break

@@ -16,12 +16,27 @@ regressing:
 * ``memory/*`` must not import ``repro.core`` at all (the controller
   talks *up* only through the hook attributes the core installs).
 
+The ``consistency-seam`` rule (this PR's :class:`~repro.core.
+consistency.ConsistencyModel` extraction) adds a finer, two-sided
+contract around the memory-model plug:
+
+* ``core/consistency.py`` is a pure decision oracle — at runtime it may
+  import only ``repro.common`` and ``repro.isa`` (``TYPE_CHECKING``
+  imports of core types are fine), so a model can never reach into the
+  LSQ, pipeline or memory side to mutate anything.
+* The consuming units (``core/lsq.py``, ``core/pipeline.py``,
+  ``core/atomic_policy.py``, ``core/recovery.py``) may import only the
+  protocol and factory (``ConsistencyModel``, ``make_model``) from it,
+  and must never name a concrete model class — model-specific ordering
+  rules live behind the seam, not inlined in the units.
+
 Like the sibling rule families this works purely on the AST: nothing is
 imported or executed.
 """
 
 from __future__ import annotations
 
+import ast
 from pathlib import Path
 
 from repro.sanitize.lint import (
@@ -34,6 +49,7 @@ from repro.sanitize.lint import (
 )
 
 RULE = "arch-import"
+SEAM_RULE = "consistency-seam"
 
 #: layer (top-level package directory) -> forbidden runtime import prefixes.
 LAYER_CONTRACT: dict[str, tuple[str, ...]] = {
@@ -47,6 +63,23 @@ LAYER_CONTRACT: dict[str, tuple[str, ...]] = {
 #: Layers where even TYPE_CHECKING imports of the forbidden prefixes are
 #: rejected (the memory side must not know core types exist).
 NO_TYPING_ESCAPE = ("memory",)
+
+#: The decision-oracle module and its runtime import allow-list.
+CONSISTENCY_MODULE = "core/consistency.py"
+CONSISTENCY_ALLOWED = ("repro.common", "repro.isa")
+
+#: Units that consume the model through the protocol seam.
+CONSISTENCY_CONSUMERS = (
+    "core/lsq.py",
+    "core/pipeline.py",
+    "core/atomic_policy.py",
+    "core/recovery.py",
+)
+#: The only names a consumer may import from the consistency module.
+CONSISTENCY_PUBLIC = ("ConsistencyModel", "make_model")
+#: Concrete model classes: naming one outside the seam re-inlines
+#: model-specific ordering rules into a unit.
+CONSISTENCY_CONCRETE = ("TSOModel", "RelaxedModel")
 
 
 def check_file(path: Path, base: Path) -> list[LintFinding]:
@@ -92,8 +125,104 @@ def check_file(path: Path, base: Path) -> list[LintFinding]:
     return findings
 
 
+def _check_consistency_module(path: Path, relpath: str) -> list[LintFinding]:
+    """The oracle side of the seam: runtime imports ⊆ common/isa."""
+    findings: list[LintFinding] = []
+    tree = parse_file(path)
+    for node, type_checking in walk_statements(tree.body):
+        if type_checking:
+            continue
+        for module in imported_modules(node):
+            if not module.startswith("repro"):
+                continue
+            if any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in CONSISTENCY_ALLOWED
+            ):
+                continue
+            findings.append(
+                LintFinding(
+                    path=relpath,
+                    line=node.lineno,
+                    rule=SEAM_RULE,
+                    message=(
+                        f"core/consistency.py must not import {module} at"
+                        " runtime (a ConsistencyModel is a pure decision"
+                        " oracle over"
+                        f" {'/'.join(CONSISTENCY_ALLOWED)}; move the"
+                        " dependency behind TYPE_CHECKING or the decision"
+                        " into the calling unit)"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_consistency_consumer(path: Path, relpath: str) -> list[LintFinding]:
+    """The unit side of the seam: protocol + factory only, no concrete
+    model class references."""
+    findings: list[LintFinding] = []
+    tree = parse_file(path)
+    for node, _type_checking in walk_statements(tree.body):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "repro.core.consistency"
+        ):
+            for alias in node.names:
+                if alias.name not in CONSISTENCY_PUBLIC:
+                    findings.append(
+                        LintFinding(
+                            path=relpath,
+                            line=node.lineno,
+                            rule=SEAM_RULE,
+                            message=(
+                                f"{relpath} may import only"
+                                f" {', '.join(CONSISTENCY_PUBLIC)} from the"
+                                f" consistency seam, not {alias.name}"
+                                " (ordering rules stay behind the"
+                                " protocol)"
+                            ),
+                        )
+                    )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in CONSISTENCY_CONCRETE:
+            findings.append(
+                LintFinding(
+                    path=relpath,
+                    line=node.lineno,
+                    rule=SEAM_RULE,
+                    message=(
+                        f"{relpath} references concrete model"
+                        f" {node.id}; units must stay model-agnostic"
+                        " and ask self.core.consistency instead"
+                    ),
+                )
+            )
+    return findings
+
+
 def run(base: Path) -> list[LintFinding]:
     findings: list[LintFinding] = []
+    seam_seen = False
     for path in iter_py_files(base):
+        relpath = rel(path, base)
         findings.extend(check_file(path, base))
+        if relpath == CONSISTENCY_MODULE:
+            seam_seen = True
+            findings.extend(_check_consistency_module(path, relpath))
+        elif relpath in CONSISTENCY_CONSUMERS:
+            findings.extend(_check_consistency_consumer(path, relpath))
+    if not seam_seen and (base / "core").is_dir():
+        findings.append(
+            LintFinding(
+                path=CONSISTENCY_MODULE,
+                line=1,
+                rule=SEAM_RULE,
+                message=(
+                    "core/consistency.py not found — the consistency-seam"
+                    " rule has nothing to anchor to (was the module"
+                    " renamed without updating the lint contract?)"
+                ),
+            )
+        )
     return findings

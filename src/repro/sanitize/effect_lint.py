@@ -24,6 +24,16 @@ enforcing one leg of the repo's timing-transparency contract:
     ``set`` iteration feeding event or wake scheduling.  This is the
     static form of the golden 15-cell bit-identity check.
 
+``consistency-purity``
+    The :class:`~repro.core.consistency.ConsistencyModel` query methods
+    (``load_load_ordered``, ``drain_candidates``, ``atomic_lazy_ready``,
+    ``atomic_commit_ready``, ``fence_satisfied``) are decision oracles:
+    the LSQ/pipeline/policy units ask them what the memory model
+    *permits* and perform every mutation themselves.  A model method
+    that wrote simulation state would smuggle ordering side effects
+    behind the seam, so everything they reach must stay ≤
+    ``READS_SIM``.
+
 Each rule reports the *source* function whose own body offends, with an
 example call path from the rule's root — not every intermediate caller
 the effect propagated through.  ``effect-root-missing`` fires if a rule's
@@ -53,6 +63,15 @@ QUIESCENCE_QUERIES = (
     "next_wake_cycle",
     "quiescence_reason",
     "wake_is_stale",
+)
+#: ConsistencyModel decision-oracle methods (see module docstring):
+#: pure queries over LQ/SB/DynInstr state; callers own all mutation.
+CONSISTENCY_QUERIES = (
+    "load_load_ordered",
+    "drain_candidates",
+    "atomic_lazy_ready",
+    "atomic_commit_ready",
+    "fence_satisfied",
 )
 #: (class, method) anchoring the determinism rule.
 DETERMINISM_ROOT = ("MulticoreSimulator", "run")
@@ -155,6 +174,31 @@ def _check_quiescence_purity(analysis: EffectAnalysis) -> list[LintFinding]:
     return list(unique.values())
 
 
+def _check_consistency_purity(analysis: EffectAnalysis) -> list[LintFinding]:
+    findings = []
+    roots = [
+        key
+        for name in CONSISTENCY_QUERIES
+        for key in analysis.functions_named(name)
+    ]
+    if not roots:
+        return [LintFinding(
+            "", 1, "effect-root-missing",
+            f"no consistency query ({', '.join(CONSISTENCY_QUERIES)}) "
+            f"found anywhere in the universe — the consistency-purity "
+            f"rule has nothing to anchor to",
+        )]
+    for root in roots:
+        findings.extend(_reach_findings(
+            analysis, root, Effect.READS_SIM, "consistency-purity",
+            "consistency-model queries decide, callers mutate",
+        ))
+    unique: dict[tuple[str, int], LintFinding] = {}
+    for f in findings:
+        unique.setdefault((f.path, f.line), f)
+    return list(unique.values())
+
+
 def _check_determinism(analysis: EffectAnalysis) -> list[LintFinding]:
     cls, method = DETERMINISM_ROOT
     roots = [
@@ -197,6 +241,7 @@ def run(
     findings: list[LintFinding] = []
     findings.extend(_check_observer_purity(analysis))
     findings.extend(_check_quiescence_purity(analysis))
+    findings.extend(_check_consistency_purity(analysis))
     findings.extend(_check_determinism(analysis))
     findings.extend(_check_unused_pragmas(analysis))
     return findings

@@ -63,9 +63,11 @@ KNOWN_RULES = frozenset({
     "receive-reject",
     # arch_lint
     "arch-import",
+    "consistency-seam",
     # effect_lint
     "observer-purity",
     "quiescence-purity",
+    "consistency-purity",
     "determinism",
     "effect-root-missing",
     "unused-effect-pragma",

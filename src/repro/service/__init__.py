@@ -38,10 +38,12 @@ from repro.service.schema import (
 )
 from repro.service.planner import (
     CampaignCell,
+    LitmusJob,
     campaign_config_map,
     campaign_id,
     campaign_scale,
     expand_campaign,
+    expand_litmus,
     expand_microbench,
     iter_cells,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "CampaignRun",
     "ConfigSpec",
     "GridSpec",
+    "LitmusJob",
     "OutputSpec",
     "ServiceClient",
     "ServiceError",
@@ -66,6 +69,7 @@ __all__ = [
     "default_campaign_dir",
     "dump_campaign",
     "expand_campaign",
+    "expand_litmus",
     "expand_microbench",
     "iter_cells",
     "load_campaign",

@@ -64,6 +64,15 @@ class MicrobenchJob:
     iterations: int
 
 
+@dataclass(frozen=True)
+class LitmusJob:
+    """One resolved litmus sweep point: program × model × padding args."""
+
+    program: str
+    model: str
+    pads: tuple[int, ...]
+
+
 # ---------------------------------------------------------------------------
 # Axis resolution
 # ---------------------------------------------------------------------------
@@ -128,6 +137,11 @@ def resolve_config(spec: ConfigSpec, base: SystemParams) -> SystemParams:
             raise CampaignError(
                 f"config {spec.name!r}: bad params override: {exc}"
             ) from None
+    if spec.consistency is not None:
+        try:
+            base = base.with_consistency_model(spec.consistency)
+        except ValueError as exc:
+            raise CampaignError(f"config {spec.name!r}: {exc}") from None
     params = config(
         base,
         spec.mode,
@@ -280,6 +294,33 @@ def expand_microbench(
         for op in campaign.ops
         for variant in campaign.variants
     ]
+
+
+def expand_litmus(campaign: Campaign) -> list[LitmusJob]:
+    """The (program × model × pad-set) jobs of a ``kind: litmus``
+    campaign — what :mod:`repro.analysis.litmuscheck` sweeps."""
+    from repro.workloads.litmus_oracle import LITMUS_TESTS
+
+    if campaign.kind != "litmus":
+        raise CampaignError(
+            f"campaign {campaign.name!r} is kind={campaign.kind!r},"
+            " not a litmus sweep"
+        )
+    jobs = []
+    for program in campaign.programs:
+        try:
+            test = LITMUS_TESTS[program]
+        except KeyError:
+            raise CampaignError(
+                f"campaign {campaign.name!r}: unknown litmus program"
+                f" {program!r}"
+            ) from None
+        for model in campaign.models:
+            for pads in test.pad_sets:
+                jobs.append(
+                    LitmusJob(program=program, model=model, pads=tuple(pads))
+                )
+    return jobs
 
 
 # ---------------------------------------------------------------------------

@@ -28,11 +28,15 @@ Grammar (YAML or JSON; YAML requires the optional ``pyyaml``)::
     output: {kind: figure, id: fig1}
 
 A config entry accepts ``mode`` (required), ``detection``, ``predictor``,
-``forwarding``, ``latency_threshold`` (``null`` = +inf), plus raw
-``params:`` / ``row:`` field overrides for ablation sweeps.  A workload
-entry is either a profile name or ``{base, name, overrides}``.  The
-``kind: microbench`` variant (Fig. 2) swaps grids for
-``machines``/``ops``/``variants``/``iterations`` axes.
+``forwarding``, ``latency_threshold`` (``null`` = +inf), ``consistency``
+(a :class:`~repro.common.params.ConsistencyKind` name — ``tso`` or
+``relaxed``), plus raw ``params:`` / ``row:`` field overrides for
+ablation sweeps.  A workload entry is either a profile name or
+``{base, name, overrides}``.  The ``kind: microbench`` variant (Fig. 2)
+swaps grids for ``machines``/``ops``/``variants``/``iterations`` axes;
+``kind: litmus`` swaps them for ``programs``/``models`` axes validated
+against the litmus registry and the consistency models (it runs through
+the interleaving oracle, not the RunSpec grid).
 
 Parsing is strict: unknown fields and a wrong ``campaign:`` version are
 :class:`CampaignError`\\ s (the CLI maps them to exit code 2), never
@@ -53,6 +57,7 @@ from dataclasses import dataclass, field
 
 from repro.common.params import (
     AtomicMode,
+    ConsistencyKind,
     DetectionMode,
     PredictorKind,
     RowParams,
@@ -81,9 +86,12 @@ MACHINES: tuple[str, ...] = ("old-x86", "new-x86")
 BASE_PRESETS: tuple[str, ...] = ("scale", "quick", "small", "paper")
 OUTPUT_KINDS: tuple[str, ...] = ("none", "figure", "ablation")
 
+# atomic_mode/row have dedicated config keys; consistency_model has the
+# ``consistency`` key (so it goes through ConsistencyKind.from_name, not
+# a raw-string dataclass replace).
 _PARAM_FIELDS = frozenset(
     f.name for f in dataclasses.fields(SystemParams)
-) - {"atomic_mode", "row"}
+) - {"atomic_mode", "row", "consistency_model"}
 _ROW_FIELDS = frozenset(f.name for f in dataclasses.fields(RowParams))
 _PROFILE_FIELDS = frozenset(
     f.name for f in dataclasses.fields(WorkloadProfile)
@@ -127,6 +135,7 @@ class ConfigSpec:
     predictor: str | None = None
     forwarding: bool = False
     latency_threshold: int | None | str = UNSET
+    consistency: str | None = None  # ConsistencyKind name; None = base's
     params: dict = field(default_factory=dict)  # SystemParams overrides
     row: dict = field(default_factory=dict)  # RowParams overrides
 
@@ -136,6 +145,8 @@ class ConfigSpec:
             out["detection"] = self.detection
         if self.predictor is not None:
             out["predictor"] = self.predictor
+        if self.consistency is not None:
+            out["consistency"] = self.consistency
         if self.forwarding:
             out["forwarding"] = True
         if self.latency_threshold != UNSET:
@@ -236,6 +247,9 @@ class Campaign:
     ops: tuple[str, ...] = ()
     variants: tuple[str, ...] = ()
     iterations: object = None  # int, or {scale-name: int}
+    # litmus axes (kind == "litmus" only)
+    programs: tuple[str, ...] = ()
+    models: tuple[str, ...] = ()
     output: OutputSpec = field(default_factory=OutputSpec)
 
     # -- programmatic axis overrides (figure kwargs ride through these) --
@@ -275,6 +289,9 @@ class Campaign:
             out["variants"] = list(self.variants)
             if self.iterations is not None:
                 out["iterations"] = self.iterations
+        elif self.kind == "litmus":
+            out["programs"] = list(self.programs)
+            out["models"] = list(self.models)
         else:
             out["grids"] = [g.to_dict() for g in self.grids]
         if self.output.kind != "none":
@@ -302,7 +319,7 @@ def _parse_config(payload, where: str) -> ConfigSpec:
     _check_keys(
         payload,
         ("name", "mode", "detection", "predictor", "forwarding",
-         "latency_threshold", "params", "row"),
+         "latency_threshold", "consistency", "params", "row"),
         where,
     )
     name = str(_require(payload, "name", where))
@@ -329,6 +346,13 @@ def _parse_config(payload, where: str) -> ConfigSpec:
                 f"{where}: unknown predictor {predictor!r}; valid:"
                 f" {', '.join(p.value for p in PredictorKind)}"
             ) from None
+    consistency = payload.get("consistency")
+    if consistency is not None:
+        consistency = str(consistency)
+        try:
+            ConsistencyKind.from_name(consistency)
+        except ValueError as exc:
+            raise CampaignError(f"{where}: {exc}") from None
     forwarding = bool(payload.get("forwarding", False))
     threshold = payload.get("latency_threshold", UNSET)
     if threshold is not UNSET and not (
@@ -348,6 +372,7 @@ def _parse_config(payload, where: str) -> ConfigSpec:
         predictor=predictor,
         forwarding=forwarding,
         latency_threshold=threshold,
+        consistency=consistency,
         params=params,
         row=row,
     )
@@ -479,14 +504,15 @@ def parse_campaign(payload, where: str = "<campaign>") -> Campaign:
         ("campaign", "name", "description", "kind", "scale", "base",
          "workloads", "configs", "seeds", "num_threads",
          "instructions_per_thread", "grids", "machines", "ops", "variants",
-         "iterations", "output"),
+         "iterations", "programs", "models", "output"),
         where,
     )
     name = str(_require(payload, "name", where))
     kind = str(payload.get("kind", "grid"))
-    if kind not in ("grid", "microbench"):
+    if kind not in ("grid", "microbench", "litmus"):
         raise CampaignError(
-            f"{where}: unknown campaign kind {kind!r} (grid or microbench)"
+            f"{where}: unknown campaign kind {kind!r}"
+            " (grid, microbench or litmus)"
         )
     scale = payload.get("scale")
     if scale is not None:
@@ -501,11 +527,18 @@ def parse_campaign(payload, where: str = "<campaign>") -> Campaign:
 
     if kind == "microbench":
         return _parse_microbench(payload, where, name, scale, base, output)
+    if kind == "litmus":
+        return _parse_litmus(payload, where, name, scale, base, output)
 
     for key in ("machines", "ops", "variants", "iterations"):
         if key in payload:
             raise CampaignError(
                 f"{where}: {key} is only valid for kind: microbench"
+            )
+    for key in ("programs", "models"):
+        if key in payload:
+            raise CampaignError(
+                f"{where}: {key} is only valid for kind: litmus"
             )
     sugar_keys = (
         "workloads", "configs", "seeds", "num_threads",
@@ -546,11 +579,56 @@ def parse_campaign(payload, where: str = "<campaign>") -> Campaign:
     )
 
 
+def _parse_litmus(
+    payload: dict, where: str, name: str, scale, base: str, output: OutputSpec
+) -> Campaign:
+    from repro.workloads.litmus_oracle import LITMUS_TESTS
+
+    for key in ("grids", "workloads", "configs", "seeds", "num_threads",
+                "instructions_per_thread", "machines", "ops", "variants",
+                "iterations"):
+        if key in payload:
+            raise CampaignError(
+                f"{where}: {key} is not valid for kind: litmus"
+            )
+    programs = tuple(
+        str(p) for p in payload.get("programs", sorted(LITMUS_TESTS))
+    )
+    for program in programs:
+        if program not in LITMUS_TESTS:
+            raise CampaignError(
+                f"{where}: unknown litmus program {program!r}; valid:"
+                f" {', '.join(sorted(LITMUS_TESTS))}"
+            )
+    models = tuple(
+        str(m) for m in payload.get(
+            "models", [k.value for k in ConsistencyKind]
+        )
+    )
+    for model in models:
+        try:
+            ConsistencyKind.from_name(model)
+        except ValueError as exc:
+            raise CampaignError(f"{where}: {exc}") from None
+    if not programs or not models:
+        raise CampaignError(f"{where}: programs/models must be non-empty")
+    return Campaign(
+        name=name,
+        description=str(payload.get("description", "")),
+        kind="litmus",
+        scale=scale,
+        base=base,
+        programs=programs,
+        models=models,
+        output=output,
+    )
+
+
 def _parse_microbench(
     payload: dict, where: str, name: str, scale, base: str, output: OutputSpec
 ) -> Campaign:
     for key in ("grids", "workloads", "configs", "seeds", "num_threads",
-                "instructions_per_thread"):
+                "instructions_per_thread", "programs", "models"):
         if key in payload:
             raise CampaignError(
                 f"{where}: {key} is not valid for kind: microbench"

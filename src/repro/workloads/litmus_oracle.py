@@ -1,0 +1,402 @@
+"""Exhaustive-interleaving litmus oracle: per-model allowed outcome sets.
+
+For each consistency model this module enumerates *every* admissible
+execution of a small litmus skeleton under the model's axiomatic rules,
+collecting the set of reachable observation outcomes.  The simulator is
+then cross-validated against it (:mod:`repro.analysis.litmuscheck`):
+every outcome the timing model produces must be in the oracle's allowed
+set.  The oracle is deliberately *more* permissive than the machine —
+it abstracts timing away entirely — so agreement means the pipeline
+never manufactures an ordering the model forbids.
+
+Operational rules (one abstract machine per model, small-step):
+
+* A thread *executes* instructions one at a time; stores enter a
+  per-thread store buffer, loads forward from the youngest older
+  same-address SB entry or else read memory, fences wait for older
+  memory ops and an SB empty of older stores, atomics read-modify-write
+  memory directly.
+* A thread may also *flush* an SB entry to memory (making it globally
+  visible).
+
+Under **TSO** instructions execute strictly in program order and the SB
+flushes FIFO — the only visible relaxation is a load executing while
+older stores sit in the SB (store->load reordering).  Under **RELAXED**
+(WMM-style) an instruction may execute once its dependencies, older
+fences and older same-address memory ops are done (load-load and
+load/store reordering), and the SB flushes in any order that preserves
+same-address FIFO (store-store reordering).
+
+Every state of the enumeration is finite and hashable; a DFS with
+memoization visits each once.  Skeletons stay tiny (<= 4 threads of
+<= 3 ops), so the state space is a few thousand states at worst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.params import ConsistencyKind
+from repro.isa.instructions import AtomicOp, Instruction, Program, apply_atomic
+from repro.workloads import litmus
+
+# ---------------------------------------------------------------------------
+# Skeleton ops
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Op:
+    """One oracle-level instruction: a load, store, fence or atomic."""
+
+    kind: str  # "load" | "store" | "fence" | "atomic"
+    addr: int | None = None
+    value: int = 0  # store value / atomic operand
+    op: AtomicOp | None = None  # atomic only
+    deps: tuple[int, ...] = ()  # indices of same-thread producers
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in ("load", "store", "atomic")
+
+
+def ld(addr: int) -> Op:
+    return Op("load", addr)
+
+
+def st(addr: int, value: int) -> Op:
+    return Op("store", addr, value)
+
+
+def fence() -> Op:
+    return Op("fence")
+
+
+# ---------------------------------------------------------------------------
+# Test registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One named litmus shape: simulator builder + oracle skeleton + tags.
+
+    ``observed`` indexes the loads whose final register values form the
+    outcome tuple, as ``(thread, op_index)`` pairs in outcome order —
+    the same order the builder's ``"observed"`` metadata uses for the
+    padded program.  ``forbidden`` is the documentation tag: the
+    classically forbidden outcome(s) per model, cross-checked against
+    the enumeration by the test suite (the oracle is the ground truth;
+    the tag is the human-readable claim).  ``pad_sets`` are full
+    positional argument tuples for ``build`` (padding vectors, plus an
+    ``obs_delay`` for the shapes that take one) that the simulator
+    cross-validation sweeps; they include combinations empirically
+    known to reach every ``relaxed_only`` outcome under RELAXED.
+    """
+
+    name: str
+    description: str
+    build: Callable[..., Program]
+    threads: tuple[tuple[Op, ...], ...]
+    observed: tuple[tuple[int, int], ...]
+    forbidden: dict[ConsistencyKind, frozenset[tuple[int, ...]]]
+    pad_sets: tuple[tuple[int, ...], ...]
+    relaxed_only: frozenset[tuple[int, ...]] = field(default_factory=frozenset)
+
+
+def _pads_2(*values: int) -> tuple[tuple[int, ...], ...]:
+    return tuple((a, b) for a in values for b in values)
+
+
+X, Y = litmus.X_ADDR, litmus.Y_ADDR
+
+LITMUS_TESTS: dict[str, LitmusTest] = {
+    "mp": LitmusTest(
+        name="mp",
+        description="message passing: stores data then flag / loads flag then data",
+        build=litmus.message_passing,
+        threads=((st(X, 1), st(Y, 1)), (ld(Y), ld(X))),
+        observed=((1, 0), (1, 1)),  # (flag, data)
+        forbidden={
+            ConsistencyKind.TSO: frozenset({(1, 0)}),
+            ConsistencyKind.RELAXED: frozenset(),
+        },
+        relaxed_only=frozenset({(1, 0)}),
+        pad_sets=(
+            (0, 0, 0),
+            (2, 0, 0),
+            (0, 2, 0),
+            (4, 4, 0),
+            (16, 16, 0),
+            (8, 0, 20),
+            (16, 0, 20),
+            (24, 0, 40),
+        ),
+    ),
+    "mp+fences": LitmusTest(
+        name="mp+fences",
+        description="message passing with MFENCEs: forbidden outcome restored",
+        build=litmus.message_passing_fenced,
+        threads=(
+            (st(X, 1), fence(), st(Y, 1)),
+            (ld(Y), fence(), ld(X)),
+        ),
+        observed=((1, 0), (1, 2)),
+        forbidden={
+            ConsistencyKind.TSO: frozenset({(1, 0)}),
+            ConsistencyKind.RELAXED: frozenset({(1, 0)}),
+        },
+        pad_sets=(
+            (0, 0, 0),
+            (2, 0, 0),
+            (4, 4, 0),
+            (8, 0, 20),
+            (16, 0, 20),
+            (24, 0, 40),
+        ),
+    ),
+    "sb": LitmusTest(
+        name="sb",
+        description="store buffering: both loads may read 0 under TSO already",
+        build=litmus.store_buffering,
+        threads=((st(X, 1), ld(Y)), (st(Y, 1), ld(X))),
+        observed=((0, 1), (1, 1)),
+        forbidden={
+            ConsistencyKind.TSO: frozenset(),
+            ConsistencyKind.RELAXED: frozenset(),
+        },
+        pad_sets=_pads_2(0, 2, 6, 12),
+    ),
+    "sb+fences": LitmusTest(
+        name="sb+fences",
+        description="store buffering with MFENCEs: (0, 0) forbidden (SC restored)",
+        build=litmus.store_buffering_fenced,
+        threads=(
+            (st(X, 1), fence(), ld(Y)),
+            (st(Y, 1), fence(), ld(X)),
+        ),
+        observed=((0, 2), (1, 2)),
+        forbidden={
+            ConsistencyKind.TSO: frozenset({(0, 0)}),
+            ConsistencyKind.RELAXED: frozenset({(0, 0)}),
+        },
+        pad_sets=_pads_2(0, 2, 6, 12),
+    ),
+    "lb": LitmusTest(
+        name="lb",
+        description="load buffering: loads then cross-stores; (1, 1) is the weak outcome",
+        build=litmus.load_buffering,
+        threads=((ld(X), st(Y, 1)), (ld(Y), st(X, 1))),
+        observed=((0, 0), (1, 0)),
+        forbidden={
+            ConsistencyKind.TSO: frozenset({(1, 1)}),
+            ConsistencyKind.RELAXED: frozenset(),
+        },
+        pad_sets=_pads_2(0, 2, 6, 12),
+    ),
+    "iriw": LitmusTest(
+        name="iriw",
+        description="independent reads of independent writes: readers must agree under TSO",
+        build=litmus.iriw,
+        threads=(
+            (st(X, 1),),
+            (st(Y, 1),),
+            (ld(X), ld(Y)),
+            (ld(Y), ld(X)),
+        ),
+        observed=((2, 0), (2, 1), (3, 0), (3, 1)),
+        forbidden={
+            ConsistencyKind.TSO: frozenset({(1, 0, 1, 0)}),
+            ConsistencyKind.RELAXED: frozenset(),
+        },
+        relaxed_only=frozenset({(1, 0, 1, 0)}),
+        pad_sets=(
+            (0, 0, 0, 0, 0),
+            (0, 4, 2, 6, 0),
+            (4, 0, 6, 2, 0),
+            (2, 2, 10, 10, 0),
+            (8, 8, 0, 0, 20),
+            (16, 8, 0, 0, 20),
+            (16, 16, 0, 0, 20),
+            (24, 24, 0, 0, 40),
+        ),
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Enumeration
+# ---------------------------------------------------------------------------
+
+#: Per-thread state: (executed bitmask, SB tuple of (addr, value, idx),
+#: regs tuple of (idx, value) for executed loads/atomics).
+_ThreadState = tuple[int, tuple, tuple]
+
+
+def _may_execute(
+    ops: tuple[Op, ...], i: int, mask: int, sb: tuple, kind: ConsistencyKind
+) -> bool:
+    op = ops[i]
+    if any(not (mask >> d) & 1 for d in op.deps):
+        return False
+    if kind is ConsistencyKind.TSO:
+        # Strict program order for the execute step; the SB supplies the
+        # only visible (store->load) relaxation.
+        if mask != (1 << i) - 1:
+            return False
+    else:
+        for j in range(i):
+            done = (mask >> j) & 1
+            prev = ops[j]
+            if done:
+                continue
+            if prev.kind == "fence":
+                return False  # nothing executes past an unexecuted fence
+            if op.kind == "fence" and prev.is_memory:
+                return False  # a fence waits for all older memory ops
+            if (
+                op.is_memory
+                and prev.is_memory
+                and prev.addr == op.addr
+            ):
+                return False  # same-address program order (coherence)
+            if op.kind == "atomic" and prev.kind == "atomic":
+                return False  # atomics stay ordered with atomics
+    if op.kind == "fence":
+        # The SB must hold no older store (all flushed to memory).
+        if any(idx < i for (_, _, idx) in sb):
+            return False
+    if op.kind == "atomic":
+        # The atomic writes memory directly: older same-address SB
+        # entries must have flushed first.
+        if any(addr == op.addr and idx < i for (addr, _, idx) in sb):
+            return False
+    return True
+
+
+def _flushable(sb: tuple, kind: ConsistencyKind) -> list[int]:
+    if not sb:
+        return []
+    if kind is ConsistencyKind.TSO:
+        return [0]  # FIFO
+    out = []
+    for pos, (addr, _, idx) in enumerate(sb):
+        if not any(
+            o_addr == addr and o_idx < idx
+            for (o_addr, _, o_idx) in sb[:pos]
+        ):
+            out.append(pos)
+    return out
+
+
+def allowed_outcomes(
+    test: LitmusTest, model: "ConsistencyKind | str"
+) -> frozenset[tuple[int, ...]]:
+    """Every observation outcome reachable under the model's rules."""
+    kind = ConsistencyKind.from_name(model)
+    threads = test.threads
+    init_mem: tuple = ()
+    initial = (
+        init_mem,
+        tuple((0, (), ()) for _ in threads),
+    )
+    seen: set = set()
+    outcomes: set[tuple[int, ...]] = set()
+    stack = [initial]
+    while stack:
+        state = stack.pop()
+        if state in seen:
+            continue
+        seen.add(state)
+        mem, tstates = state
+        mem_map = dict(mem)
+        terminal = True
+        for tid, ops in enumerate(threads):
+            mask, sb, regs = tstates[tid]
+            # Execute steps.
+            for i, op in enumerate(ops):
+                if (mask >> i) & 1:
+                    continue
+                terminal = False
+                if not _may_execute(ops, i, mask, sb, kind):
+                    continue
+                new_mask = mask | (1 << i)
+                new_sb, new_regs = sb, regs
+                if op.kind == "store":
+                    new_sb = sb + ((op.addr, op.value, i),)
+                elif op.kind == "load":
+                    fwd = None
+                    for addr, value, idx in sb:
+                        if addr == op.addr and idx < i:
+                            fwd = value  # youngest older same-address
+                    got = fwd if fwd is not None else mem_map.get(op.addr, 0)
+                    new_regs = regs + ((i, got),)
+                if op.kind == "atomic":
+                    old = mem_map.get(op.addr, 0)
+                    new, _result = apply_atomic(op.op, old, op.value, 0)
+                    new_mem = tuple(sorted(
+                        {**mem_map, op.addr: new}.items()
+                    ))
+                    new_regs = regs + ((i, old),)
+                else:
+                    new_mem = mem
+                nt = list(tstates)
+                nt[tid] = (new_mask, new_sb, new_regs)
+                stack.append((new_mem, tuple(nt)))
+            # Flush steps.
+            if sb:
+                terminal = False
+            for pos in _flushable(sb, kind):
+                addr, value, _ = sb[pos]
+                new_mem = tuple(sorted({**mem_map, addr: value}.items()))
+                nt = list(tstates)
+                nt[tid] = (mask, sb[:pos] + sb[pos + 1 :], regs)
+                stack.append((new_mem, tuple(nt)))
+        if terminal:
+            outcomes.add(_outcome(test, tstates))
+    return frozenset(outcomes)
+
+
+def _outcome(test: LitmusTest, tstates: tuple) -> tuple[int, ...]:
+    out = []
+    for tid, idx in test.observed:
+        regs = dict(tstates[tid][2])
+        out.append(regs[idx])
+    return tuple(out)
+
+
+def observed_outcome(program: Program, load_values: list[dict]) -> tuple[int, ...]:
+    """Extract the observation tuple from a simulator run's per-core
+    committed load values, using the builder's ``"observed"`` metadata."""
+    pairs = program.metadata["observed"]
+    return tuple(load_values[tid][seq] for tid, seq in pairs)
+
+
+def skeleton_matches(test: LitmusTest) -> bool:
+    """Anti-drift check: the oracle skeleton and the unpadded builder
+    program describe the same instruction streams."""
+    program = test.build()
+    if program.num_threads != len(test.threads):
+        return False
+    kind_of = {
+        "LOAD": "load", "STORE": "store", "MFENCE": "fence",
+        "ATOMIC": "atomic",
+    }
+    for trace, ops in zip(program.traces, test.threads):
+        # ALU padding/delay chains are local computation: invisible to
+        # the memory model, so the skeleton omits them.
+        instrs: list[Instruction] = [
+            ins for ins in trace.instructions
+            if ins.cls.name in kind_of
+        ]
+        if len(instrs) != len(ops):
+            return False
+        for ins, op in zip(instrs, ops):
+            if kind_of.get(ins.cls.name) != op.kind:
+                return False
+            if op.is_memory and ins.addr != op.addr:
+                return False
+            if op.kind == "store" and ins.operand != op.value:
+                return False
+    return True

@@ -26,8 +26,8 @@ from repro.sanitize.effects import Effect, analyze
 SRC = Path(repro.__file__).resolve().parent
 
 EFFECT_RULES = (
-    "observer-purity", "quiescence-purity", "determinism",
-    "effect-root-missing", "unused-effect-pragma",
+    "observer-purity", "quiescence-purity", "consistency-purity",
+    "determinism", "effect-root-missing", "unused-effect-pragma",
 )
 
 
@@ -149,6 +149,25 @@ class TestSeededDefects:
         assert any(
             "MulticoreSimulator.run" in f.message
             and "sorted()" in f.message
+            for f in findings
+        )
+
+    def test_state_write_inside_drain_candidates(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/consistency.py",
+            "            at_head = False\n"
+            "            line = entry.line",
+            "            at_head = False\n"
+            "            entry.committed = True\n"
+            "            line = entry.line",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "consistency-purity"
+        ]
+        assert findings, "planted model-method state write not caught"
+        assert any(
+            "'committed'" in f.message and "drain_candidates" in f.message
             for f in findings
         )
 

@@ -175,6 +175,66 @@ FLOAT_DEFECT = (
 )
 
 
+class TestConsistencySeamDefects:
+    """The two-sided consistency-seam contract catches seeded breaches."""
+
+    def test_oracle_side_forbidden_runtime_import(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/consistency.py",
+            "from repro.isa.instructions import InstrClass",
+            "from repro.isa.instructions import InstrClass\n"
+            "from repro.workloads.litmus import message_passing",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "consistency-seam"
+        ]
+        assert findings, "planted runtime import into the oracle not caught"
+        assert any("repro.workloads.litmus" in f.message for f in findings)
+        # workloads is legal for core/ generally — only the seam objects.
+        assert "arch-import" not in {f.rule for f in run_lint(root)}
+
+    def test_consumer_imports_concrete_model(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/pipeline.py",
+            "from repro.core.consistency import make_model",
+            "from repro.core.consistency import TSOModel, make_model",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "consistency-seam"
+        ]
+        assert findings, "planted concrete-model import not caught"
+        assert any(
+            "TSOModel" in f.message and "core/pipeline.py" in f.path
+            for f in findings
+        )
+
+    def test_consumer_names_concrete_model(self, tmp_path):
+        root = mutate(
+            tmp_path,
+            "core/lsq.py",
+            "self.model = core.consistency",
+            "self.model = TSOModel()",
+        )
+        findings = [
+            f for f in run_lint(root) if f.rule == "consistency-seam"
+        ]
+        assert findings, "planted concrete-model reference not caught"
+        assert any("TSOModel" in f.message for f in findings)
+
+    def test_deleted_seam_module_is_reported(self, tmp_path):
+        import shutil as _shutil
+
+        root = tmp_path / "repro"
+        _shutil.copytree(SRC, root)
+        (root / "core" / "consistency.py").unlink()
+        findings = [
+            f for f in run_lint(root) if f.rule == "consistency-seam"
+        ]
+        assert any("not found" in f.message for f in findings)
+
+
 class TestRuleFiltering:
     def test_select_keeps_only_named_family(self, tmp_path):
         root = mutate(tmp_path, *FLOAT_DEFECT)

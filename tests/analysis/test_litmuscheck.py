@@ -1,0 +1,79 @@
+"""Cross-validation of the simulator against the interleaving oracle,
+plus the ``repro litmus`` CLI that fronts it."""
+
+import pytest
+
+from repro.analysis.litmuscheck import (
+    check_all,
+    check_model,
+    check_test,
+    format_report,
+)
+from repro.cli import UsageError, main
+from repro.workloads.litmus_oracle import LITMUS_TESTS
+
+
+class TestCheckers:
+    def test_tso_simulator_within_oracle(self):
+        report = check_model("tso")
+        assert report.ok
+        assert not report.violations
+        assert {r.test for r in report.tests} == set(LITMUS_TESTS)
+
+    def test_relaxed_within_oracle_and_demonstrates(self):
+        report = check_model("relaxed")
+        assert report.ok
+        for tr in report.tests:
+            if LITMUS_TESTS[tr.test].relaxed_only:
+                assert tr.demonstrated, tr.test
+                assert not tr.missing_demos, tr.test
+
+    def test_check_all_covers_both_models(self):
+        reports = check_all()
+        assert [r.model for r in reports] == ["tso", "relaxed"]
+        assert all(r.ok for r in reports)
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(ValueError, match="unknown litmus program"):
+            check_model("tso", tests=["nosuch"])
+
+    def test_single_test_outcomes_are_oracle_allowed(self):
+        tr = check_test(LITMUS_TESTS["sb"], "tso")
+        assert tr.ok
+        assert set(tr.outcomes) <= tr.allowed
+
+    def test_format_report_mentions_every_test(self, capsys=None):
+        report = check_model("tso", tests=["mp", "sb"])
+        text = format_report(report)
+        assert "mp" in text and "sb" in text
+        assert "ok" in text
+
+
+class TestLitmusCLI:
+    def test_default_invocation_passes(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "tso" in out and "relaxed" in out
+        assert "VIOLATION" not in out
+
+    def test_single_model_single_program(self, capsys):
+        assert main(["litmus", "--model", "tso", "--program", "mp"]) == 0
+        out = capsys.readouterr().out
+        assert "mp" in out
+        assert "relaxed" not in out.splitlines()[0]
+
+    def test_check_mode_requires_demonstrations(self, capsys):
+        assert main(["litmus", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "demonstrated" in out
+
+    def test_unknown_program_is_a_usage_error(self, capsys):
+        assert main(["litmus", "--program", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuch" in err
+
+    def test_list_names_litmus_programs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "litmus:" in out
+        assert "iriw" in out

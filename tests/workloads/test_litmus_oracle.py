@@ -1,0 +1,82 @@
+"""The exhaustive-interleaving oracle reproduces the textbook outcome sets."""
+
+import pytest
+
+from repro.common.params import ConsistencyKind
+from repro.workloads.litmus_oracle import (
+    LITMUS_TESTS,
+    allowed_outcomes,
+    skeleton_matches,
+)
+
+ALL = sorted(LITMUS_TESTS)
+
+
+class TestRegistryShape:
+    @pytest.mark.parametrize("name", ALL)
+    def test_skeleton_matches_builder(self, name):
+        """The oracle skeleton and the simulator program are the same
+        instruction streams (anti-drift: editing one without the other
+        fails here, not silently in the cross-validation)."""
+        assert skeleton_matches(LITMUS_TESTS[name])
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_observed_metadata_agrees(self, name):
+        test = LITMUS_TESTS[name]
+        program = test.build()
+        assert len(program.metadata["observed"]) == len(test.observed)
+
+
+class TestOutcomeSets:
+    @pytest.mark.parametrize("name", ALL)
+    def test_forbidden_tags_hold(self, name):
+        """The human-readable forbidden tag agrees with the enumeration."""
+        test = LITMUS_TESTS[name]
+        for kind, forbidden in test.forbidden.items():
+            assert not (allowed_outcomes(test, kind) & forbidden)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_tso_is_a_subset_of_relaxed(self, name):
+        test = LITMUS_TESTS[name]
+        tso = allowed_outcomes(test, ConsistencyKind.TSO)
+        relaxed = allowed_outcomes(test, ConsistencyKind.RELAXED)
+        assert tso <= relaxed
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_relaxed_only_tags_hold(self, name):
+        test = LITMUS_TESTS[name]
+        tso = allowed_outcomes(test, "tso")
+        relaxed = allowed_outcomes(test, "relaxed")
+        for outcome in test.relaxed_only:
+            assert outcome in relaxed and outcome not in tso
+
+    def test_mp_textbook_sets(self):
+        test = LITMUS_TESTS["mp"]
+        assert allowed_outcomes(test, "tso") == frozenset(
+            {(0, 0), (0, 1), (1, 1)}
+        )
+        assert allowed_outcomes(test, "relaxed") == frozenset(
+            {(0, 0), (0, 1), (1, 0), (1, 1)}
+        )
+
+    def test_fences_remove_the_weak_outcomes(self):
+        mp_f = LITMUS_TESTS["mp+fences"]
+        assert (1, 0) not in allowed_outcomes(mp_f, "relaxed")
+        sb_f = LITMUS_TESTS["sb+fences"]
+        for model in ("tso", "relaxed"):
+            assert (0, 0) not in allowed_outcomes(sb_f, model)
+
+    def test_sb_allows_both_zero_under_tso(self):
+        """(0, 0) is what separates TSO from SC: the store buffer alone
+        produces it, so even the strong model admits it."""
+        assert (0, 0) in allowed_outcomes(LITMUS_TESTS["sb"], "tso")
+
+    def test_lb_weak_outcome_only_under_relaxed(self):
+        test = LITMUS_TESTS["lb"]
+        assert (1, 1) not in allowed_outcomes(test, "tso")
+        assert (1, 1) in allowed_outcomes(test, "relaxed")
+
+    def test_iriw_disagreeing_readers_only_under_relaxed(self):
+        test = LITMUS_TESTS["iriw"]
+        assert (1, 0, 1, 0) not in allowed_outcomes(test, "tso")
+        assert (1, 0, 1, 0) in allowed_outcomes(test, "relaxed")
